@@ -1,0 +1,223 @@
+// Benchmark harness: one testing.B benchmark per table/figure of the
+// paper's evaluation (see DESIGN.md's per-experiment index). Each
+// benchmark runs the corresponding experiment at a reduced
+// instruction budget and reports the figure's headline quantity as a
+// custom metric, so `go test -bench=.` regenerates the whole evaluation
+// in miniature. Run cmd/experiments for full-budget tables.
+package plutus_test
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/plutus-gpu/plutus/internal/counters"
+	"github.com/plutus-gpu/plutus/internal/harness"
+	"github.com/plutus-gpu/plutus/internal/secmem"
+	"github.com/plutus-gpu/plutus/internal/stats"
+	"github.com/plutus-gpu/plutus/internal/valcache"
+)
+
+const protected = 128 << 20
+
+// benchBenchmarks is the workload subset used by the figure benchmarks:
+// two irregular, one stencil, one streaming — enough to show every
+// mechanism while keeping -bench runs to minutes.
+var benchBenchmarks = []string{"bfs", "pagerank", "hotspot", "pathfinder"}
+
+var (
+	runnerOnce sync.Once
+	runner     *harness.Runner
+)
+
+// sharedRunner caches simulation results across all benchmarks in the
+// process, exactly like cmd/experiments does across figures.
+func sharedRunner() *harness.Runner {
+	runnerOnce.Do(func() {
+		runner = harness.NewRunner(harness.Config{
+			ProtectedBytes:  protected,
+			MaxInstructions: 4000,
+			Benchmarks:      benchBenchmarks,
+		})
+	})
+	return runner
+}
+
+// geoSpeedup runs scheme b against scheme a over the benchmark subset.
+func geoSpeedup(tb testing.TB, a, b secmem.Config) *harness.Speedup {
+	sp, err := sharedRunner().CompareSchemes(a, b)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sp
+}
+
+// BenchmarkFig06_SecurityOverhead measures the PSSM slowdown vs no
+// security (paper Fig. 6; metric: normalized IPC, <1 is a slowdown).
+func BenchmarkFig06_SecurityOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sp := geoSpeedup(b, secmem.Baseline(protected), secmem.PSSM(protected))
+		b.ReportMetric(sp.Mean, "normIPC")
+	}
+}
+
+// BenchmarkFig07_TrafficBreakdown measures PSSM metadata bytes per data
+// byte (paper Fig. 7).
+func BenchmarkFig07_TrafficBreakdown(b *testing.B) {
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		var meta, data float64
+		for _, bench := range benchBenchmarks {
+			st, err := r.Run(bench, secmem.PSSM(protected))
+			if err != nil {
+				b.Fatal(err)
+			}
+			meta += float64(st.Traffic.MetadataBytes())
+			data += float64(st.Traffic.Bytes(stats.Data))
+		}
+		b.ReportMetric(meta/data, "meta/data")
+	}
+}
+
+// BenchmarkFig09_ValueLocality measures the masked 3-of-4 value-reuse
+// rate (paper Fig. 9).
+func BenchmarkFig09_ValueLocality(b *testing.B) {
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		out, err := harness.Fig9(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = out
+	}
+}
+
+// BenchmarkFig10_ReadWriteMix measures the load fraction of memory
+// instructions (paper Fig. 10).
+func BenchmarkFig10_ReadWriteMix(b *testing.B) {
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		var loads, total float64
+		for _, bench := range benchBenchmarks {
+			st, err := r.Run(bench, secmem.Baseline(protected))
+			if err != nil {
+				b.Fatal(err)
+			}
+			loads += float64(st.LoadInsts)
+			total += float64(st.MemInsts)
+		}
+		b.ReportMetric(loads/total, "readFrac")
+	}
+}
+
+// BenchmarkFig15_ValueVerification measures value-based verification's
+// speedup over PSSM (paper Fig. 15: +4.94% avg, up to +19.89%).
+func BenchmarkFig15_ValueVerification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sp := geoSpeedup(b, secmem.PSSM(protected), secmem.PlutusValueOnly(protected))
+		b.ReportMetric(sp.Mean, "speedup")
+		b.ReportMetric(sp.Max, "maxSpeedup")
+	}
+}
+
+// BenchmarkFig16_FineGrainMetadata measures the all-32 B metadata design
+// vs the 128 B baseline (paper Fig. 16: +10.57% avg, up to +74.85%).
+func BenchmarkFig16_FineGrainMetadata(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sp := geoSpeedup(b, secmem.PSSM(protected),
+			secmem.PlutusFineGrain(protected, secmem.GranAll32))
+		b.ReportMetric(sp.Mean, "speedup")
+	}
+}
+
+// BenchmarkFig17_CompactCounters measures the adaptive compact-counter
+// design vs PSSM (paper Fig. 17: +2.07% avg, up to +8.28%).
+func BenchmarkFig17_CompactCounters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sp := geoSpeedup(b, secmem.PSSM(protected),
+			secmem.PlutusCompact(protected, counters.Compact3BitAdaptive))
+		b.ReportMetric(sp.Mean, "speedup")
+	}
+}
+
+// BenchmarkFig18_PlutusOverall measures the headline result (paper
+// Fig. 18: +16.86% avg IPC over PSSM, up to +58.38%).
+func BenchmarkFig18_PlutusOverall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sp := geoSpeedup(b, secmem.PSSM(protected), secmem.Plutus(protected))
+		b.ReportMetric(sp.Mean, "speedup")
+		b.ReportMetric(sp.Max, "maxSpeedup")
+	}
+}
+
+// BenchmarkFig19_TrafficReduction measures Plutus's security-metadata
+// traffic relative to PSSM (paper Fig. 19: −48.14% avg, up to −80.30%).
+func BenchmarkFig19_TrafficReduction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sp := geoSpeedup(b, secmem.PSSM(protected), secmem.Plutus(protected))
+		b.ReportMetric(1-sp.TrafficMean, "metaReduction")
+	}
+}
+
+// BenchmarkFig20_NoTreeTraffic measures the residual cost of the
+// integrity tree in Plutus (paper Fig. 20).
+func BenchmarkFig20_NoTreeTraffic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sp := geoSpeedup(b, secmem.Plutus(protected), secmem.PlutusNoTree(protected))
+		b.ReportMetric(sp.Mean, "speedup")
+	}
+}
+
+// BenchmarkFig21_ValueCacheSensitivity measures the marginal value of a
+// 1024-entry value cache over the paper's 256 (paper Fig. 21: small).
+func BenchmarkFig21_ValueCacheSensitivity(b *testing.B) {
+	small := secmem.PlutusValueOnly(protected)
+	small.Scheme, small.Value.Entries = "vc-256", 256
+	big := secmem.PlutusValueOnly(protected)
+	big.Scheme, big.Value.Entries = "vc-1024", 1024
+	for i := 0; i < b.N; i++ {
+		sp := geoSpeedup(b, small, big)
+		b.ReportMetric(sp.Mean, "speedup1024v256")
+	}
+}
+
+// BenchmarkFig22_Power measures normalized energy per instruction (paper
+// Fig. 22 reports power: PSSM 1.369×, Plutus 1.178× of no security).
+func BenchmarkFig22_Power(b *testing.B) {
+	r := sharedRunner()
+	em := stats.DefaultEnergyModel()
+	for i := 0; i < b.N; i++ {
+		var pssm, plutus []float64
+		for _, bench := range benchBenchmarks {
+			base, err := r.Run(bench, secmem.Baseline(protected))
+			if err != nil {
+				b.Fatal(err)
+			}
+			sp, err := r.Run(bench, secmem.PSSM(protected))
+			if err != nil {
+				b.Fatal(err)
+			}
+			pl, err := r.Run(bench, secmem.Plutus(protected))
+			if err != nil {
+				b.Fatal(err)
+			}
+			perInst := func(st *stats.Stats) float64 {
+				return em.Energy(st).TotalRaw / float64(st.Instructions)
+			}
+			pssm = append(pssm, perInst(sp)/perInst(base))
+			plutus = append(plutus, perInst(pl)/perInst(base))
+		}
+		b.ReportMetric(stats.GeoMean(pssm), "pssmPower")
+		b.ReportMetric(stats.GeoMean(plutus), "plutusPower")
+	}
+}
+
+// BenchmarkEq1_ForgeryBound measures the cost of evaluating the paper's
+// Eq. 1 bound (§IV-C) and reports the resulting forgery probability.
+func BenchmarkEq1_ForgeryBound(b *testing.B) {
+	p := valcache.HitProbability(256, 4)
+	var f float64
+	for i := 0; i < b.N; i++ {
+		f = valcache.ForgeryProbability(4, 3, p)
+	}
+	b.ReportMetric(f, "forgeryProb")
+}

@@ -1,0 +1,125 @@
+// Command plutussim runs one (benchmark, scheme) simulation and prints a
+// full statistics report: IPC, DRAM traffic by class, metadata-cache hit
+// rates and security-engine event counts.
+//
+// Usage:
+//
+//	plutussim -bench bfs -scheme plutus
+//	plutussim -bench sgemm -scheme pssm -insts 50000 -volta
+//	plutussim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/plutus-gpu/plutus/internal/counters"
+	"github.com/plutus-gpu/plutus/internal/harness"
+	"github.com/plutus-gpu/plutus/internal/secmem"
+	"github.com/plutus-gpu/plutus/internal/stats"
+	"github.com/plutus-gpu/plutus/internal/workload"
+)
+
+// schemeByName resolves the scheme flag to a configuration.
+func schemeByName(name string, protected uint64) (secmem.Config, error) {
+	switch name {
+	case "nosec":
+		return secmem.Baseline(protected), nil
+	case "pssm":
+		return secmem.PSSM(protected), nil
+	case "pssm-4Bmac":
+		return secmem.PSSM4B(protected), nil
+	case "pssm+cc":
+		return secmem.CommonCtr(protected), nil
+	case "plutus":
+		return secmem.Plutus(protected), nil
+	case "plutus-V":
+		return secmem.PlutusValueOnly(protected), nil
+	case "plutus-G32":
+		return secmem.PlutusFineGrain(protected, secmem.GranAll32), nil
+	case "plutus-G32-128":
+		return secmem.PlutusFineGrain(protected, secmem.GranCtr32BMT128), nil
+	case "plutus-C2":
+		return secmem.PlutusCompact(protected, counters.Compact2Bit), nil
+	case "plutus-C3":
+		return secmem.PlutusCompact(protected, counters.Compact3Bit), nil
+	case "plutus-C3A":
+		return secmem.PlutusCompact(protected, counters.Compact3BitAdaptive), nil
+	case "plutus-notree":
+		return secmem.PlutusNoTree(protected), nil
+	}
+	return secmem.Config{}, fmt.Errorf("unknown scheme %q (try: nosec pssm pssm+cc plutus plutus-V plutus-G32 plutus-C3A plutus-notree)", name)
+}
+
+func main() {
+	var (
+		bench  = flag.String("bench", "bfs", "benchmark name (see -list)")
+		scheme = flag.String("scheme", "plutus", "security scheme")
+		insts  = flag.Uint64("insts", 20000, "warp-instruction budget")
+		volta  = flag.Bool("volta", false, "full 80-SM/32-partition Volta config (slow)")
+		list   = flag.Bool("list", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("benchmarks:", strings.Join(workload.Names(), " "))
+		return
+	}
+
+	const protected = 128 << 20
+	sc, err := schemeByName(*scheme, protected)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plutussim:", err)
+		os.Exit(1)
+	}
+	r := harness.NewRunner(harness.Config{
+		ProtectedBytes:  protected,
+		MaxInstructions: *insts,
+		Benchmarks:      []string{*bench},
+		FullVolta:       *volta,
+	})
+	st, err := r.Run(*bench, sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plutussim:", err)
+		os.Exit(1)
+	}
+	printReport(st, sc)
+}
+
+func printReport(st *stats.Stats, sc secmem.Config) {
+	fmt.Printf("benchmark: %s   scheme: %s\n", st.Benchmark, st.Scheme)
+	fmt.Printf("instructions: %d (loads %d, stores %d)\n", st.Instructions, st.LoadInsts, st.StoreInsts)
+	fmt.Printf("cycles: %d   IPC: %.4f\n\n", st.Cycles, st.IPC())
+
+	var rows [][]string
+	for _, c := range stats.Classes() {
+		if st.Traffic.Bytes(c) == 0 {
+			continue
+		}
+		rows = append(rows, []string{
+			c.String(),
+			fmt.Sprintf("%d", st.Traffic.Reads[c]),
+			fmt.Sprintf("%d", st.Traffic.Writes[c]),
+			fmt.Sprintf("%.1f", float64(st.Traffic.Bytes(c))/1024),
+		})
+	}
+	fmt.Println(stats.Table([]string{"class", "rd txns", "wr txns", "KiB"}, rows))
+	fmt.Printf("metadata overhead: %.1f%% of data bytes\n\n",
+		100*float64(st.Traffic.MetadataBytes())/float64(st.Traffic.Bytes(stats.Data)))
+
+	fmt.Printf("L2 hit rate: %.1f%%\n", 100*st.L2.HitRate())
+	if !sc.NoSecurity {
+		fmt.Printf("counter / MAC / BMT cache hit rates: %.1f%% / %.1f%% / %.1f%%\n",
+			100*st.CounterCache.HitRate(), 100*st.MACCache.HitRate(), 100*st.BMTCache.HitRate())
+		fmt.Printf("value-verified reads: %d   MAC-verified reads: %d   MAC updates skipped: %d\n",
+			st.Sec.ValueVerified, st.Sec.MACVerified, st.Sec.MACSkippedWrites)
+		fmt.Printf("compact: hits %d, overflow double-accesses %d, disabled accesses %d\n",
+			st.Sec.CompactHits, st.Sec.CompactOverflow, st.Sec.CompactDisabled)
+		fmt.Printf("integrity: tree-node verifications %d, tamper %d, replay %d\n",
+			st.Sec.BMTNodeVerifies, st.Sec.TamperDetected, st.Sec.ReplayDetected)
+	}
+	em := stats.DefaultEnergyModel()
+	fmt.Printf("average power (arbitrary units): %.1f\n", em.Power(st))
+}

@@ -1,0 +1,87 @@
+// Command tracegen captures a synthetic benchmark's memory-instruction
+// stream into the binary trace format, or inspects an existing trace.
+//
+// Usage:
+//
+//	tracegen -bench bfs -insts 100000 -o bfs.pltr
+//	tracegen -inspect bfs.pltr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/plutus-gpu/plutus/internal/gpusim"
+	"github.com/plutus-gpu/plutus/internal/trace"
+	"github.com/plutus-gpu/plutus/internal/workload"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "bfs", "benchmark to capture")
+		insts   = flag.Int("insts", 100000, "instructions to capture")
+		out     = flag.String("o", "", "output trace path (default <bench>.pltr)")
+		inspect = flag.String("inspect", "", "print a summary of an existing trace and exit")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		if err := inspectTrace(*inspect); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	wl, err := workload.Get(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	tr := trace.Capture(wl, *insts)
+	path := *out
+	if path == "" {
+		path = *bench + ".pltr"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := tr.Write(f); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("captured %d records (%d warps) from %s into %s\n",
+		len(tr.Records), tr.Warps, *bench, path)
+}
+
+func inspectTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		return err
+	}
+	var loads, stores, computes, addrs int
+	for _, r := range tr.Records {
+		switch r.Kind {
+		case gpusim.Load:
+			loads++
+			addrs += len(r.Addrs)
+		case gpusim.Store:
+			stores++
+			addrs += len(r.Addrs)
+		default:
+			computes++
+		}
+	}
+	fmt.Printf("%s: %d warps, %d records (%d loads, %d stores, %d compute), %d thread addresses\n",
+		path, tr.Warps, len(tr.Records), loads, stores, computes, addrs)
+	return nil
+}

@@ -1,0 +1,21 @@
+// Package plutus is a Go reproduction of "Plutus: Bandwidth-Efficient
+// Memory Security for GPUs" (HPCA 2023): a secure GPU memory system —
+// counter-mode/XTS encryption, per-sector MACs, Bonsai Merkle Trees —
+// together with the paper's three bandwidth optimizations (value-based
+// integrity verification, compact mirrored counters, fine-granularity
+// metadata blocks) and the cycle-driven GPU memory-system simulator used
+// to evaluate them.
+//
+// The implementation lives under internal/ (see DESIGN.md for the module
+// map); the executables under cmd/ and the programs under examples/ are
+// the supported entry points:
+//
+//	go run ./cmd/plutussim -bench bfs -scheme plutus
+//	go run ./cmd/experiments           # regenerate every paper figure
+//	go run ./examples/quickstart
+//
+// The benchmarks in bench_test.go regenerate each evaluation figure at a
+// reduced instruction budget:
+//
+//	go test -bench=. -benchmem
+package plutus

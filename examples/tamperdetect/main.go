@@ -1,0 +1,115 @@
+// Tamperdetect drives the secure-memory engine directly — no GPU model —
+// and demonstrates that each attack class of the threat model is caught:
+//
+//   - data tampering (bit flips in the DRAM image) — caught by value
+//     verification falling through to a MAC mismatch;
+//   - MAC spoofing — caught by MAC comparison;
+//   - counter replay — caught by the Bonsai Merkle Tree.
+//
+// It also shows the benign path: what you write is what you read, and
+// value-local data authenticates without any MAC fetch.
+//
+//	go run ./examples/tamperdetect
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"github.com/plutus-gpu/plutus/internal/dram"
+	"github.com/plutus-gpu/plutus/internal/geom"
+	"github.com/plutus-gpu/plutus/internal/secmem"
+	"github.com/plutus-gpu/plutus/internal/sim"
+	"github.com/plutus-gpu/plutus/internal/stats"
+)
+
+type rig struct {
+	eng *sim.Engine
+	e   *secmem.Engine
+	st  *stats.Stats
+}
+
+func newRig(cfg secmem.Config) *rig {
+	r := &rig{eng: &sim.Engine{}, st: &stats.Stats{}}
+	ch := dram.MustNew(dram.DefaultConfig(), r.eng, &r.st.Traffic)
+	r.e = secmem.MustNew(cfg, r.eng, ch, r.st)
+	return r
+}
+
+func (r *rig) write(a geom.Addr, data []byte) {
+	r.e.Writeback(a, data, nil)
+	r.eng.Drain(1 << 20)
+}
+
+func (r *rig) read(a geom.Addr) secmem.ReadResult {
+	var res secmem.ReadResult
+	r.e.Read(a, func(x secmem.ReadResult) { res = x })
+	r.eng.Drain(1 << 20)
+	return res
+}
+
+func sector(vals ...uint32) []byte {
+	b := make([]byte, geom.SectorSize)
+	for i := 0; i < 8 && i < len(vals); i++ {
+		binary.LittleEndian.PutUint32(b[i*4:], vals[i])
+	}
+	return b
+}
+
+func verdict(ok bool, attack string) {
+	if ok {
+		fmt.Printf("  %-22s NOT DETECTED (security failure!)\n", attack)
+	} else {
+		fmt.Printf("  %-22s detected ✓\n", attack)
+	}
+}
+
+func main() {
+	const protected = 1 << 22
+
+	fmt.Println("== benign round trip (Plutus) ==")
+	r := newRig(secmem.Plutus(protected))
+	payload := sector(0xCAFE0001, 0x12345678, 0xDEADBEEF, 0x0BADF00D,
+		0x11223344, 0x55667788, 0x99AABBCC, 0xDDEEFF00)
+	r.write(0x1000, payload)
+	res := r.read(0x1000)
+	if !res.OK {
+		log.Fatal("benign read failed verification")
+	}
+	fmt.Printf("  wrote and read back %d bytes, verified ✓ (value-verified: %v)\n\n",
+		len(res.Data), res.ValueVerified)
+
+	fmt.Println("== attack 1: flip one DRAM bit (spoofing) ==")
+	r = newRig(secmem.Plutus(protected))
+	r.write(0x2000, payload)
+	r.e.TamperData(0x2000, 133)
+	verdict(r.read(0x2000).OK, "data bit-flip:")
+
+	fmt.Println("\n== attack 2: forge the stored MAC ==")
+	r = newRig(secmem.PSSM(protected))
+	r.write(0x3000, payload)
+	r.e.TamperMAC(0x3000)
+	verdict(r.read(0x3000).OK, "MAC spoofing:")
+
+	fmt.Println("\n== attack 3: replay an old encryption counter ==")
+	r = newRig(secmem.PSSM(protected))
+	r.write(0x4000, payload)
+	r.e.ReplayCounter(0x4000)
+	verdict(r.read(0x4000).OK, "counter replay:")
+
+	fmt.Println("\n== value verification needs no MAC traffic ==")
+	r = newRig(secmem.Plutus(protected))
+	common := sector(7, 7, 7, 7, 7, 7, 7, 7)
+	for k := geom.Addr(0); k < 64; k++ {
+		r.write(0x10000+k*geom.SectorSize, common)
+	}
+	before := r.st.Traffic.Bytes(stats.MAC)
+	for k := geom.Addr(0); k < 64; k++ {
+		if got := r.read(0x10000 + k*geom.SectorSize); !got.OK {
+			log.Fatal("value-local read failed")
+		}
+	}
+	fmt.Printf("  64 value-local reads moved %d MAC bytes (value cache did the work)\n",
+		r.st.Traffic.Bytes(stats.MAC)-before)
+}

@@ -1,0 +1,3 @@
+module github.com/plutus-gpu/plutus
+
+go 1.22

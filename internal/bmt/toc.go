@@ -1,0 +1,172 @@
+package bmt
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/plutus-gpu/plutus/internal/crypto/siphash"
+)
+
+// ToC is an SGX-style Tree of Counters (parallelizable integrity tree,
+// paper §II-A3 / Fig. 3): interior nodes hold version counters instead of
+// hashes, and each node carries a MAC computed over its versions and its
+// parent's version. Updates increment one version per level — no
+// cumulative hashing — so sibling updates can proceed in parallel, at the
+// cost of larger nodes.
+//
+// The reproduction includes it for completeness of the background designs
+// and for the ablation comparing ToC vs BMT organizations; the paper's
+// schemes all use the Bonsai Merkle Tree.
+type ToC struct {
+	cfg   Config
+	arity uint64
+	// counts[l] is the node count at level l (level 0 sits directly above
+	// the counter units; the last level is the root).
+	counts []uint64
+	// versions[l][i] is node (l,i)'s version counter as known on-chip.
+	versions []map[uint64]uint64
+	// unitVersions[u] is the per-counter-unit version (the tree's leaves).
+	unitVersions map[uint64]uint64
+	// macs[l][i] is the MAC currently bound to node (l,i).
+	macs []map[uint64]uint64
+	// rootVersion is the trust anchor: never leaves the chip.
+	rootVersion uint64
+}
+
+// NewToC builds a Tree of Counters with the same geometry parameters as a
+// BMT (NodeBytes determines arity; version counters are 8 B like hashes).
+func NewToC(cfg Config) (*ToC, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &ToC{cfg: cfg, arity: uint64(cfg.Arity()), unitVersions: make(map[uint64]uint64)}
+	n := ceilDiv(cfg.Units, t.arity)
+	for {
+		t.counts = append(t.counts, n)
+		if n == 1 {
+			break
+		}
+		n = ceilDiv(n, t.arity)
+	}
+	t.versions = make([]map[uint64]uint64, len(t.counts))
+	t.macs = make([]map[uint64]uint64, len(t.counts))
+	for l := range t.counts {
+		t.versions[l] = make(map[uint64]uint64)
+		t.macs[l] = make(map[uint64]uint64)
+	}
+	return t, nil
+}
+
+// MustToC is NewToC for static configuration.
+func MustToC(cfg Config) *ToC {
+	t, err := NewToC(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Height returns the number of node levels.
+func (t *ToC) Height() int { return len(t.counts) }
+
+// RootVersion returns the on-chip trust anchor.
+func (t *ToC) RootVersion() uint64 { return t.rootVersion }
+
+// nodeMAC computes the MAC binding a node's child versions to its
+// parent's version (the anti-replay link).
+func (t *ToC) nodeMAC(level int, index, parentVersion uint64) uint64 {
+	buf := make([]byte, 8*int(t.arity)+24)
+	base := index * t.arity
+	for c := uint64(0); c < t.arity; c++ {
+		var v uint64
+		if level == 0 {
+			v = t.unitVersions[base+c]
+		} else {
+			v = t.versions[level-1][base+c]
+		}
+		binary.LittleEndian.PutUint64(buf[c*8:], v)
+	}
+	off := 8 * int(t.arity)
+	binary.LittleEndian.PutUint64(buf[off:], parentVersion)
+	binary.LittleEndian.PutUint64(buf[off+8:], uint64(level))
+	binary.LittleEndian.PutUint64(buf[off+16:], index)
+	return siphash.Sum64(t.cfg.Key, buf)
+}
+
+// selfVersion returns node (l,i)'s own version counter — the value stored
+// in its parent node (the on-chip root version for the root). This is the
+// tweak binding the node's MAC: replaying an old copy of the node fails
+// against the fresher version held one level up.
+func (t *ToC) selfVersion(l int, i uint64) uint64 {
+	if l == len(t.counts)-1 {
+		return t.rootVersion
+	}
+	return t.versions[l][i]
+}
+
+// Bump records an update of counter unit u: every version on the path to
+// the root increments, and each path node's MAC is re-bound. Unlike a
+// hash tree, no child hashes are recomputed — this is the
+// parallelizable-update property.
+func (t *ToC) Bump(u uint64) {
+	if u >= t.cfg.Units {
+		panic(fmt.Sprintf("bmt: toc unit %d out of range %d", u, t.cfg.Units))
+	}
+	t.unitVersions[u]++
+	idx := u / t.arity
+	for l := 0; l < len(t.counts); l++ {
+		t.versions[l][idx]++
+		idx /= t.arity
+	}
+	t.rootVersion++
+	// Re-bind MACs along the path (bottom-up, now that versions settled).
+	idx = u / t.arity
+	for l := 0; l < len(t.counts); l++ {
+		t.macs[l][idx] = t.nodeMAC(l, idx, t.selfVersion(l, idx))
+		idx /= t.arity
+	}
+}
+
+// VerifyPath checks unit u's path: each node's stored MAC must match the
+// MAC recomputed from its (possibly attacker-supplied) child versions and
+// its parent's version. It reports whether the whole path is fresh.
+func (t *ToC) VerifyPath(u uint64) bool {
+	idx := u / t.arity
+	for l := 0; l < len(t.counts); l++ {
+		want, bound := t.macs[l][idx], true
+		if want == 0 {
+			// Never written: an all-zero subtree verifies trivially.
+			bound = false
+		}
+		if bound && t.nodeMAC(l, idx, t.selfVersion(l, idx)) != want {
+			return false
+		}
+		idx /= t.arity
+	}
+	return true
+}
+
+// TamperUnit models an attacker replaying an old version for unit u in
+// memory; verification of u's path must subsequently fail.
+func (t *ToC) TamperUnit(u uint64) {
+	if t.unitVersions[u] == 0 {
+		t.unitVersions[u] = 1 // forge a version where none existed
+	} else {
+		t.unitVersions[u]-- // replay the previous version
+	}
+}
+
+// Path returns the node chain from level 0 to the root, mirroring
+// Tree.Path so engines can treat either organization uniformly.
+func (t *ToC) Path(u uint64) []NodeRef {
+	if u >= t.cfg.Units {
+		panic(fmt.Sprintf("bmt: toc unit %d out of range %d", u, t.cfg.Units))
+	}
+	path := make([]NodeRef, 0, len(t.counts))
+	idx := u / t.arity
+	for l := 0; l < len(t.counts); l++ {
+		path = append(path, NodeRef{Level: l, Index: idx})
+		idx /= t.arity
+	}
+	return path
+}

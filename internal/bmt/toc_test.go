@@ -1,0 +1,92 @@
+package bmt
+
+import (
+	"testing"
+
+	"github.com/plutus-gpu/plutus/internal/crypto/siphash"
+)
+
+func tocCfg(units uint64) Config {
+	return Config{Units: units, UnitBytes: 128, NodeBytes: 128, Key: siphash.Key{K0: 3, K1: 9}}
+}
+
+func TestToCFreshPathVerifies(t *testing.T) {
+	tc := MustToC(tocCfg(1000))
+	for _, u := range []uint64{0, 1, 500, 999} {
+		if !tc.VerifyPath(u) {
+			t.Errorf("fresh unit %d failed verification", u)
+		}
+	}
+}
+
+func TestToCBumpThenVerify(t *testing.T) {
+	tc := MustToC(tocCfg(1000))
+	r0 := tc.RootVersion()
+	tc.Bump(123)
+	if tc.RootVersion() == r0 {
+		t.Fatal("root version unchanged after bump")
+	}
+	if !tc.VerifyPath(123) {
+		t.Fatal("bumped unit failed verification")
+	}
+	// Neighbors sharing path nodes also still verify.
+	if !tc.VerifyPath(124) || !tc.VerifyPath(0) {
+		t.Fatal("unrelated units failed after bump")
+	}
+}
+
+func TestToCDetectsReplay(t *testing.T) {
+	tc := MustToC(tocCfg(1000))
+	tc.Bump(42)
+	tc.Bump(42)
+	tc.TamperUnit(42)
+	if tc.VerifyPath(42) {
+		t.Fatal("replayed unit version passed verification")
+	}
+}
+
+func TestToCDetectsForgedFreshUnit(t *testing.T) {
+	tc := MustToC(tocCfg(1000))
+	tc.Bump(40) // bind the shared level-0 node's MAC
+	tc.TamperUnit(41)
+	if tc.VerifyPath(41) {
+		t.Fatal("forged version on a bound node passed verification")
+	}
+}
+
+func TestToCManyUpdatesStayConsistent(t *testing.T) {
+	tc := MustToC(tocCfg(512))
+	for k := 0; k < 2000; k++ {
+		tc.Bump(uint64(k*37) % 512)
+	}
+	for u := uint64(0); u < 512; u += 13 {
+		if !tc.VerifyPath(u) {
+			t.Fatalf("unit %d failed after update storm", u)
+		}
+	}
+}
+
+func TestToCPathMatchesBMTGeometry(t *testing.T) {
+	cfg := tocCfg(4096)
+	tc := MustToC(cfg)
+	tr := MustNew(cfg, 0)
+	if tc.Height() != tr.Height() {
+		t.Fatalf("ToC height %d != BMT height %d for same config", tc.Height(), tr.Height())
+	}
+	p1, p2 := tc.Path(4095), tr.Path(4095)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("path node %d differs: %+v vs %+v", i, p1[i], p2[i])
+		}
+	}
+}
+
+func TestToCPanicsOutOfRange(t *testing.T) {
+	tc := MustToC(tocCfg(8))
+	defer func() {
+		if recover() == nil {
+			t.Error("Bump out of range should panic")
+		}
+	}()
+	tc.Bump(8)
+}

@@ -1,0 +1,237 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/plutus-gpu/plutus/internal/geom"
+)
+
+func small(t *testing.T) *Cache {
+	t.Helper()
+	c, err := New(Config{Name: "t", SizeBytes: 2048, BlockSize: 128, Ways: 4, MSHRs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{Name: "zero"},
+		{Name: "sector", SizeBytes: 1024, BlockSize: 48, Ways: 2, MSHRs: 1},
+		{Name: "div", SizeBytes: 1000, BlockSize: 128, Ways: 4, MSHRs: 1},
+		{Name: "pow2", SizeBytes: 128 * 4 * 3, BlockSize: 128, Ways: 4, MSHRs: 1},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %q validated, want error", cfg.Name)
+		}
+	}
+	good := Config{Name: "ok", SizeBytes: 2048, BlockSize: 32, Ways: 4, MSHRs: 8}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+}
+
+func TestMissFillHit(t *testing.T) {
+	c := small(t)
+	mask := c.MaskFor(0x1000)
+	out, need, m := c.Lookup(0x1000, mask, false, nil)
+	if out != Miss || need != mask || m == nil {
+		t.Fatalf("first lookup: %v need=%04b", out, need)
+	}
+	evs, _ := c.Fill(m, false)
+	if len(evs) != 0 {
+		t.Fatalf("fill into empty cache evicted %v", evs)
+	}
+	out, _, _ = c.Lookup(0x1000, mask, false, nil)
+	if out != Hit {
+		t.Fatalf("lookup after fill: %v, want hit", out)
+	}
+	if c.Stats.Hits != 1 || c.Stats.Misses != 1 {
+		t.Errorf("stats = %+v", c.Stats)
+	}
+}
+
+func TestSectoredPartialPresence(t *testing.T) {
+	c := small(t)
+	// Fetch sector 0 only.
+	_, _, m := c.Lookup(0x2000, 0b0001, false, nil)
+	c.Fill(m, false)
+	// Sector 1 of the same block should miss with need = sector 1 only.
+	out, need, m2 := c.Lookup(0x2020, 0b0010, false, nil)
+	if out != Miss || need != 0b0010 {
+		t.Fatalf("partial lookup: %v need=%04b, want miss 0b0010", out, need)
+	}
+	c.Fill(m2, false)
+	if got := c.Probe(0x2000); got != 0b0011 {
+		t.Fatalf("Probe = %04b, want 0b0011", got)
+	}
+}
+
+func TestMSHRMerging(t *testing.T) {
+	c := small(t)
+	done := 0
+	_, _, m := c.Lookup(0x3000, 0b0001, false, func() { done++ })
+	out, _, m2 := c.Lookup(0x3000, 0b0001, false, func() { done++ })
+	if out != MissMerged || m2 != m {
+		t.Fatalf("second lookup: %v, want merged into same MSHR", out)
+	}
+	// A different sector of the same block extends the MSHR.
+	out, need, m3 := c.Lookup(0x3020, 0b0010, false, func() { done++ })
+	if out != Miss || need != 0b0010 || m3 != m {
+		t.Fatalf("extend lookup: %v need=%04b", out, need)
+	}
+	_, waiters := c.Fill(m, false)
+	for _, w := range waiters {
+		w()
+	}
+	if done != 3 {
+		t.Fatalf("waiters run = %d, want 3", done)
+	}
+	if c.Stats.MSHRMerges != 1 {
+		t.Errorf("MSHRMerges = %d, want 1", c.Stats.MSHRMerges)
+	}
+}
+
+func TestMSHRExhaustion(t *testing.T) {
+	c := small(t)
+	for i := 0; i < 4; i++ {
+		out, _, _ := c.Lookup(geom.Addr(0x4000+i*128), 0b0001, false, nil)
+		if out != Miss {
+			t.Fatalf("lookup %d: %v", i, out)
+		}
+	}
+	out, _, m := c.Lookup(0x9000, 0b0001, false, nil)
+	if out != MissNoMSHR || m != nil {
+		t.Fatalf("5th miss: %v, want MissNoMSHR", out)
+	}
+}
+
+func TestEvictionLRUAndDirty(t *testing.T) {
+	c := small(t)
+	// 4 sets; blocks mapping to set 0 are 0, 4*128, 8*128, ...
+	addrs := []geom.Addr{0, 512, 1024, 1536, 2048}
+	for _, a := range addrs[:4] {
+		_, _, m := c.Lookup(a, 0b1111, true, nil)
+		c.Fill(m, true) // dirty fill
+	}
+	// Touch addr 0 so it is MRU; victim should be 512.
+	c.Lookup(0, 0b0001, false, nil)
+	_, _, m := c.Lookup(addrs[4], 0b0001, false, nil)
+	evs, _ := c.Fill(m, false)
+	if len(evs) != 1 || evs[0].Addr != 512 {
+		t.Fatalf("eviction = %+v, want victim 512", evs)
+	}
+	if evs[0].Dirty != 0b1111 {
+		t.Fatalf("victim dirty = %04b, want all", evs[0].Dirty)
+	}
+	if c.Stats.DirtyEvictions != 1 {
+		t.Errorf("DirtyEvictions = %d", c.Stats.DirtyEvictions)
+	}
+}
+
+func TestWriteMarksDirty(t *testing.T) {
+	c := small(t)
+	_, _, m := c.Lookup(0x5000, 0b0001, false, nil)
+	c.Fill(m, false)
+	if c.DirtyMask(0x5000) != 0 {
+		t.Fatal("clean fill left dirty bits")
+	}
+	out, _, _ := c.Lookup(0x5000, 0b0001, true, nil)
+	if out != Hit || c.DirtyMask(0x5000) != 0b0001 {
+		t.Fatalf("write hit: %v dirty=%04b", out, c.DirtyMask(0x5000))
+	}
+	c.CleanSectors(0x5000, 0b0001)
+	if c.DirtyMask(0x5000) != 0 {
+		t.Fatal("CleanSectors did not clear dirty bit")
+	}
+}
+
+func TestInsertAndInvalidate(t *testing.T) {
+	c := small(t)
+	c.Insert(0x6000, 0b0101, true)
+	if c.Probe(0x6000) != 0b0101 || c.DirtyMask(0x6000) != 0b0101 {
+		t.Fatalf("Insert state: valid=%04b dirty=%04b", c.Probe(0x6000), c.DirtyMask(0x6000))
+	}
+	d := c.Invalidate(0x6000)
+	if d != 0b0101 || c.Probe(0x6000) != 0 {
+		t.Fatalf("Invalidate returned %04b, probe=%04b", d, c.Probe(0x6000))
+	}
+}
+
+func TestMarkDirtyRequiresPresence(t *testing.T) {
+	c := small(t)
+	if c.MarkDirty(0x7000, 0b0001) {
+		t.Fatal("MarkDirty succeeded on absent block")
+	}
+	c.Insert(0x7000, 0b0001, false)
+	if !c.MarkDirty(0x7000, 0b0001) {
+		t.Fatal("MarkDirty failed on present sector")
+	}
+	if c.MarkDirty(0x7000, 0b0010) {
+		t.Fatal("MarkDirty succeeded on absent sector")
+	}
+}
+
+func Test32ByteBlockGeometry(t *testing.T) {
+	c := MustNew(Config{Name: "fine", SizeBytes: 2048, BlockSize: 32, Ways: 4, MSHRs: 8})
+	if c.SectorsPerBlock() != 1 || c.AllMask() != 0b0001 {
+		t.Fatalf("32B geometry: sectors=%d mask=%04b", c.SectorsPerBlock(), c.AllMask())
+	}
+	// Adjacent 32 B addresses are distinct blocks.
+	_, _, m := c.Lookup(0x100, 0b0001, false, nil)
+	c.Fill(m, false)
+	out, _, _ := c.Lookup(0x120, 0b0001, false, nil)
+	if out != Miss {
+		t.Fatalf("adjacent 32B block: %v, want miss", out)
+	}
+}
+
+func TestWalkDirty(t *testing.T) {
+	c := small(t)
+	c.Insert(0x100, 0b0011, true)
+	c.Insert(0x200, 0b0001, false)
+	var blocks []geom.Addr
+	c.WalkDirty(func(b geom.Addr, d geom.SectorMask) { blocks = append(blocks, b) })
+	if len(blocks) != 1 || blocks[0] != 0x100 {
+		t.Fatalf("WalkDirty visited %v", blocks)
+	}
+}
+
+// Property: after any sequence of lookups+fills, every resident sector was
+// previously filled, and dirty implies valid.
+func TestDirtyImpliesValidProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c := MustNew(Config{Name: "q", SizeBytes: 1024, BlockSize: 128, Ways: 2, MSHRs: 2})
+		for _, op := range ops {
+			addr := geom.Addr(op&0x0fff) * 32
+			write := op&0x1000 != 0
+			out, _, m := c.Lookup(addr, c.MaskFor(addr), write, nil)
+			if out == Miss {
+				c.Fill(m, write)
+			}
+		}
+		okAll := true
+		for _, set := range c.sets {
+			for i := range set {
+				if set[i].dirty&^set[i].valid != 0 {
+					okAll = false
+				}
+			}
+		}
+		return okAll
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	for o, want := range map[Outcome]string{Hit: "hit", Miss: "miss", MissMerged: "miss-merged", MissNoMSHR: "miss-no-mshr"} {
+		if o.String() != want {
+			t.Errorf("%d.String() = %q", int(o), o.String())
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package counters
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitConfigValidate(t *testing.T) {
+	if err := DefaultSplitConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	for _, c := range []SplitConfig{{MinorBits: 0, GroupSize: 32}, {MinorBits: 6, GroupSize: 0}, {MinorBits: 20, GroupSize: 8}} {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v validated, want error", c)
+		}
+	}
+}
+
+func TestSplitValueStartsZero(t *testing.T) {
+	s := MustSplitStore(DefaultSplitConfig())
+	if s.Value(12345) != 0 || s.Touched(12345) {
+		t.Error("fresh sector should have counter 0")
+	}
+	if s.Groups() != 0 {
+		t.Error("Value should not materialize groups")
+	}
+}
+
+func TestSplitIncrementMonotonicPerSector(t *testing.T) {
+	s := MustSplitStore(DefaultSplitConfig())
+	prev := uint64(0)
+	for k := 0; k < 200; k++ {
+		v, _ := s.Increment(7)
+		if v <= prev {
+			t.Fatalf("counter not strictly increasing: %d then %d", prev, v)
+		}
+		prev = v
+	}
+}
+
+func TestSplitMinorOverflowBumpsMajorAndResets(t *testing.T) {
+	s := MustSplitStore(SplitConfig{MinorBits: 2, GroupSize: 4})
+	var overflowGroups []uint64
+	var overflowSectors []uint64
+	s.OnOverflow = func(g uint64, secs []uint64) {
+		overflowGroups = append(overflowGroups, g)
+		overflowSectors = secs
+	}
+	// Sector 5 is in group 1 (sectors 4..7). Minor max = 3.
+	s.Increment(4) // neighbor gets minor 1
+	for k := 0; k < 3; k++ {
+		if _, of := s.Increment(5); of {
+			t.Fatalf("overflow too early at k=%d", k)
+		}
+	}
+	v, of := s.Increment(5)
+	if !of {
+		t.Fatal("4th increment of a 2-bit minor should overflow")
+	}
+	if want := uint64(1 << 2); v != want {
+		t.Fatalf("post-overflow value = %d, want major<<2 = %d", v, want)
+	}
+	if len(overflowGroups) != 1 || overflowGroups[0] != 1 {
+		t.Fatalf("overflow hook groups = %v", overflowGroups)
+	}
+	if len(overflowSectors) != 4 || overflowSectors[0] != 4 || overflowSectors[3] != 7 {
+		t.Fatalf("overflow sectors = %v", overflowSectors)
+	}
+	// The neighbor's minor was reset: its next value is major<<2 | 1.
+	if got := s.Minor(4); got != 0 {
+		t.Fatalf("neighbor minor = %d, want reset to 0", got)
+	}
+	if got := s.Major(1); got != 1 {
+		t.Fatalf("major = %d, want 1", got)
+	}
+}
+
+// Counter uniqueness is the security property: the sequence of values a
+// sector is encrypted under must never repeat, even across overflows.
+func TestSplitCounterNeverReusesValues(t *testing.T) {
+	s := MustSplitStore(SplitConfig{MinorBits: 2, GroupSize: 2})
+	seen := map[uint64]bool{s.Value(0): true}
+	for k := 0; k < 50; k++ {
+		v, _ := s.Increment(0)
+		if seen[v] {
+			t.Fatalf("counter value %d reused at step %d", v, k)
+		}
+		seen[v] = true
+		// Interleave neighbor writes to force resets.
+		if k%3 == 0 {
+			s.Increment(1)
+		}
+	}
+}
+
+func TestCompactKindProperties(t *testing.T) {
+	cases := []struct {
+		k     CompactKind
+		width int
+		per   int
+		name  string
+	}{
+		{CompactOff, 0, 0, "off"},
+		{Compact2Bit, 2, 128, "2bit"},
+		{Compact3Bit, 3, 64, "3bit"},
+		{Compact3BitAdaptive, 3, 64, "3bit-adaptive"},
+	}
+	for _, c := range cases {
+		if c.k.Width() != c.width || c.k.CountersPerSector() != c.per || c.k.String() != c.name {
+			t.Errorf("%v: width=%d per=%d name=%q", c.k, c.k.Width(), c.k.CountersPerSector(), c.k.String())
+		}
+	}
+}
+
+func TestNewCompactViewRejectsOff(t *testing.T) {
+	s := MustSplitStore(DefaultSplitConfig())
+	if _, err := NewCompactView(CompactOff, s, 0); err == nil {
+		t.Error("CompactOff view created, want error")
+	}
+}
+
+func TestCompactMirrorsMinor(t *testing.T) {
+	s := MustSplitStore(DefaultSplitConfig())
+	v, err := NewCompactView(Compact3Bit, s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Value(10) != 0 || v.Classify(10) != ServedCompact {
+		t.Fatal("fresh sector should be compact-served with value 0")
+	}
+	for k := 1; k <= 6; k++ {
+		s.Increment(10)
+		want := uint32(k)
+		if want > 7 {
+			want = 7
+		}
+		if got := v.Value(10); got != want {
+			t.Fatalf("after %d writes compact value = %d, want %d", k, got, want)
+		}
+	}
+	if v.Classify(10) != ServedCompact {
+		t.Fatalf("6 writes: %v, want compact (3-bit saturates at 7)", v.Classify(10))
+	}
+	s.Increment(10)
+	if v.Classify(10) != ServedOverflowed {
+		t.Fatalf("7 writes: %v, want overflowed", v.Classify(10))
+	}
+}
+
+func TestCompact2BitSaturatesOnThirdWrite(t *testing.T) {
+	s := MustSplitStore(DefaultSplitConfig())
+	v, _ := NewCompactView(Compact2Bit, s, 0)
+	s.Increment(3)
+	s.Increment(3)
+	if v.Classify(3) != ServedCompact {
+		t.Fatalf("2 writes: %v", v.Classify(3))
+	}
+	s.Increment(3)
+	if v.Classify(3) != ServedOverflowed {
+		t.Fatalf("3 writes: %v, want overflowed (paper: 2-bit overflows on the third write)", v.Classify(3))
+	}
+}
+
+func TestCompactInvalidatedByMajorBump(t *testing.T) {
+	s := MustSplitStore(SplitConfig{MinorBits: 2, GroupSize: 4})
+	v, _ := NewCompactView(Compact3Bit, s, 0)
+	// Overflow sector 0's minor so the group's major becomes 1.
+	for k := 0; k < 4; k++ {
+		s.Increment(0)
+	}
+	if s.Major(0) != 1 {
+		t.Fatal("setup: major not bumped")
+	}
+	// Sector 1 was never written, but its compact counter is now unusable:
+	// the per-sector flag diverts the whole group to the originals.
+	if v.Classify(1) != ServedDisabled {
+		t.Fatalf("sector sharing bumped major: %v, want disabled", v.Classify(1))
+	}
+}
+
+func TestAdaptiveDisableAtThreshold(t *testing.T) {
+	s := MustSplitStore(DefaultSplitConfig())
+	v, _ := NewCompactView(Compact3BitAdaptive, s, 3)
+	saturate := func(sector uint64) bool {
+		disabledNow := false
+		for k := 0; k < 7; k++ {
+			s.Increment(sector)
+			_, d := v.NoteWrite(sector)
+			disabledNow = disabledNow || d
+		}
+		return disabledNow
+	}
+	// Saturate three different sectors in compact block 0 (covers 256
+	// sectors for the 3-bit design).
+	if saturate(0) || saturate(1) {
+		t.Fatal("disabled before reaching threshold")
+	}
+	if v.SaturatedCount(0) != 2 {
+		t.Fatalf("SaturatedCount = %d, want 2", v.SaturatedCount(0))
+	}
+	if !saturate(2) {
+		t.Fatal("third saturation should disable the block")
+	}
+	if !v.Disabled(0) || v.Classify(0) != ServedDisabled {
+		t.Fatal("block should be disabled and classified ServedDisabled")
+	}
+	// Unsaturated sectors of the same block are also diverted.
+	if v.Classify(5) != ServedDisabled {
+		t.Fatalf("unsaturated sector in disabled block: %v", v.Classify(5))
+	}
+	// Other blocks are unaffected.
+	far := uint64(4 * v.Kind().CountersPerSector())
+	if v.Classify(far) != ServedCompact {
+		t.Fatalf("other block: %v, want compact", v.Classify(far))
+	}
+}
+
+func TestNonAdaptiveNeverDisables(t *testing.T) {
+	s := MustSplitStore(DefaultSplitConfig())
+	v, _ := NewCompactView(Compact3Bit, s, 1)
+	for k := 0; k < 20; k++ {
+		s.Increment(uint64(k))
+		for j := 0; j < 7; j++ {
+			s.Increment(uint64(k))
+			v.NoteWrite(uint64(k))
+		}
+	}
+	if v.Disabled(0) {
+		t.Fatal("plain 3-bit design must never disable blocks")
+	}
+}
+
+// Property: the compact value is always min(split minor, saturation) while
+// the major is zero — the mirror can never disagree with the truth.
+func TestCompactConsistencyProperty(t *testing.T) {
+	f := func(writes []uint8) bool {
+		s := MustSplitStore(DefaultSplitConfig())
+		v, _ := NewCompactView(Compact3Bit, s, 0)
+		for _, w := range writes {
+			sector := uint64(w % 16)
+			s.Increment(sector)
+			v.NoteWrite(sector)
+		}
+		for sector := uint64(0); sector < 16; sector++ {
+			if s.Major(s.GroupOf(sector)) != 0 {
+				continue
+			}
+			want := s.Minor(sector)
+			if want > 7 {
+				want = 7
+			}
+			if v.Value(sector) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOutcomeAndKindStrings(t *testing.T) {
+	if ServedCompact.String() != "compact" || ServedOverflowed.String() != "overflowed" || ServedDisabled.String() != "disabled" {
+		t.Error("outcome names wrong")
+	}
+}

@@ -1,0 +1,83 @@
+package counters
+
+import "fmt"
+
+// MonolithicStore is the SGX-style counter organization the paper's
+// background contrasts with split counters (§II-A1): one wide (56-bit)
+// counter per cache block, eight to a 64 B block. It never overflows in
+// practice and needs no group re-encryption, but caches 8× fewer
+// counters per block than the split design — which is why split counters
+// are the state of the art the paper builds on.
+//
+// The reproduction includes it for the counter-organization ablation.
+type MonolithicStore struct {
+	bits int
+	max  uint64
+	vals map[uint64]uint64
+
+	// OnOverflow fires in the (astronomically unlikely) event a counter
+	// wraps; sectors lists the single affected sector.
+	OnOverflow func(groupIdx uint64, sectors []uint64)
+}
+
+// MonolithicBits is the SGX counter width.
+const MonolithicBits = 56
+
+// NewMonolithicStore builds an empty store with bits-wide counters
+// (0 = the SGX default of 56).
+func NewMonolithicStore(bits int) (*MonolithicStore, error) {
+	if bits == 0 {
+		bits = MonolithicBits
+	}
+	if bits < 8 || bits > 64 {
+		return nil, fmt.Errorf("counters: monolithic width %d out of range", bits)
+	}
+	var max uint64
+	if bits == 64 {
+		max = ^uint64(0)
+	} else {
+		max = 1<<uint(bits) - 1
+	}
+	return &MonolithicStore{bits: bits, max: max, vals: make(map[uint64]uint64)}, nil
+}
+
+// MustMonolithicStore is NewMonolithicStore for static configuration.
+func MustMonolithicStore(bits int) *MonolithicStore {
+	s, err := NewMonolithicStore(bits)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Bits returns the counter width.
+func (s *MonolithicStore) Bits() int { return s.bits }
+
+// Value returns sector i's counter.
+func (s *MonolithicStore) Value(i uint64) uint64 { return s.vals[i] }
+
+// Increment bumps sector i's counter, reporting (the theoretical) wrap.
+func (s *MonolithicStore) Increment(i uint64) (uint64, bool) {
+	v := s.vals[i]
+	if v == s.max {
+		s.vals[i] = 0
+		if s.OnOverflow != nil {
+			s.OnOverflow(i, []uint64{i})
+		}
+		return 0, true
+	}
+	s.vals[i] = v + 1
+	return v + 1, false
+}
+
+// CountersPerSector returns how many monolithic counters fit one 32 B
+// metadata sector (4 at the 56-bit width padded to 8 B, as in SGX's
+// 8-per-64 B layout).
+func (s *MonolithicStore) CountersPerSector() int { return 32 / 8 }
+
+// SectorOf returns the metadata-sector index holding sector i's counter —
+// 8× fewer sectors covered per metadata block than the split design,
+// which is the organization's bandwidth penalty.
+func (s *MonolithicStore) SectorOf(i uint64) uint64 {
+	return i / uint64(s.CountersPerSector())
+}

@@ -1,0 +1,69 @@
+package counters
+
+import "testing"
+
+func TestMonolithicDefaults(t *testing.T) {
+	s := MustMonolithicStore(0)
+	if s.Bits() != MonolithicBits {
+		t.Fatalf("default width %d, want %d", s.Bits(), MonolithicBits)
+	}
+	if _, err := NewMonolithicStore(4); err == nil {
+		t.Error("4-bit width accepted")
+	}
+	if _, err := NewMonolithicStore(65); err == nil {
+		t.Error("65-bit width accepted")
+	}
+	if _, err := NewMonolithicStore(64); err != nil {
+		t.Errorf("64-bit width rejected: %v", err)
+	}
+}
+
+func TestMonolithicIncrement(t *testing.T) {
+	s := MustMonolithicStore(0)
+	if s.Value(9) != 0 {
+		t.Fatal("fresh counter nonzero")
+	}
+	for k := uint64(1); k <= 100; k++ {
+		v, of := s.Increment(9)
+		if v != k || of {
+			t.Fatalf("increment %d: v=%d of=%v", k, v, of)
+		}
+	}
+	if s.Value(10) != 0 {
+		t.Fatal("neighbor affected")
+	}
+}
+
+func TestMonolithicWrap(t *testing.T) {
+	s := MustMonolithicStore(8) // tiny width to make wrap reachable
+	var wrapped []uint64
+	s.OnOverflow = func(_ uint64, secs []uint64) { wrapped = secs }
+	for k := 0; k < 255; k++ {
+		if _, of := s.Increment(3); of {
+			t.Fatalf("early wrap at %d", k)
+		}
+	}
+	v, of := s.Increment(3)
+	if !of || v != 0 {
+		t.Fatalf("wrap: v=%d of=%v", v, of)
+	}
+	if len(wrapped) != 1 || wrapped[0] != 3 {
+		t.Fatalf("overflow hook sectors = %v", wrapped)
+	}
+}
+
+// The coverage contrast the paper's background describes: a 32 B sector
+// of split counters covers 8× more data sectors than monolithic.
+func TestMonolithicCoverageContrast(t *testing.T) {
+	m := MustMonolithicStore(0)
+	sp := MustSplitStore(DefaultSplitConfig())
+	if m.CountersPerSector() != 4 {
+		t.Fatalf("monolithic counters/sector = %d, want 4", m.CountersPerSector())
+	}
+	if sp.Config().GroupSize != 8*m.CountersPerSector() {
+		t.Fatalf("split covers %d vs monolithic %d: want 8x", sp.Config().GroupSize, m.CountersPerSector())
+	}
+	if m.SectorOf(7) != 1 || m.SectorOf(3) != 0 {
+		t.Fatalf("SectorOf mapping wrong: %d %d", m.SectorOf(7), m.SectorOf(3))
+	}
+}

@@ -1,0 +1,162 @@
+// Package counters implements the encryption-counter organizations the
+// paper builds on and contributes:
+//
+//   - Split counters (Yan et al. [33]) in PSSM's sectored layout: each
+//     32 B counter sector holds one 64-bit major counter shared by a group
+//     of data sectors plus a small minor counter per data sector. The
+//     effective encryption counter is major<<minorBits | minor; a minor
+//     overflow increments the major and forces re-encryption of every data
+//     sector in the group.
+//   - Compact mirrored counters (Plutus §IV-D): a second, much smaller
+//     per-sector counter layer (2 or 3 bits) usable while the sector has
+//     seen few writes, with saturated counters falling back to the split
+//     store. The adaptive variant additionally disables a whole compact
+//     block once too many of its counters saturate.
+//
+// The split store is the single source of truth for counter values — the
+// compact layer is a *view* derived from it plus sticky disable state, so
+// the two can never disagree about the value used for encryption.
+package counters
+
+import "fmt"
+
+// SplitConfig fixes the split-counter geometry.
+type SplitConfig struct {
+	// MinorBits is the width of each per-sector minor counter.
+	MinorBits int
+	// GroupSize is the number of data sectors sharing one major counter
+	// (i.e. covered by one 32 B counter sector).
+	GroupSize int
+}
+
+// DefaultSplitConfig matches the PSSM sectored layout: a 32 B counter
+// sector = 8 B major + 32 six-bit minors covering 32 data sectors (1 KiB
+// of data); a 128 B counter block covers 4 KiB.
+func DefaultSplitConfig() SplitConfig { return SplitConfig{MinorBits: 6, GroupSize: 32} }
+
+// Validate reports configuration errors.
+func (c SplitConfig) Validate() error {
+	if c.MinorBits < 1 || c.MinorBits > 16 {
+		return fmt.Errorf("counters: minor width %d out of range", c.MinorBits)
+	}
+	if c.GroupSize < 1 {
+		return fmt.Errorf("counters: group size %d out of range", c.GroupSize)
+	}
+	return nil
+}
+
+type group struct {
+	major  uint64
+	minors []uint32
+}
+
+// SplitStore holds the logical split-counter state for one partition's
+// data sectors, indexed by partition-local data-sector index.
+type SplitStore struct {
+	cfg      SplitConfig
+	minorMax uint32
+	groups   map[uint64]*group
+
+	// OnOverflow, if set, is called when a minor overflow increments a
+	// group's major counter. sectors lists every data-sector index in the
+	// group; the secure-memory engine re-encrypts them (the standard
+	// split-counter overflow cost).
+	OnOverflow func(groupIdx uint64, sectors []uint64)
+}
+
+// NewSplitStore builds an empty store (all counters zero).
+func NewSplitStore(cfg SplitConfig) (*SplitStore, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &SplitStore{
+		cfg:      cfg,
+		minorMax: 1<<cfg.MinorBits - 1,
+		groups:   make(map[uint64]*group),
+	}, nil
+}
+
+// MustSplitStore is NewSplitStore for static configuration.
+func MustSplitStore(cfg SplitConfig) *SplitStore {
+	s, err := NewSplitStore(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Config returns the store's geometry.
+func (s *SplitStore) Config() SplitConfig { return s.cfg }
+
+// GroupOf returns the group (counter-sector) index covering data sector i.
+func (s *SplitStore) GroupOf(i uint64) uint64 { return i / uint64(s.cfg.GroupSize) }
+
+func (s *SplitStore) groupFor(i uint64) *group {
+	gi := s.GroupOf(i)
+	g, ok := s.groups[gi]
+	if !ok {
+		g = &group{minors: make([]uint32, s.cfg.GroupSize)}
+		s.groups[gi] = g
+	}
+	return g
+}
+
+// Value returns the effective encryption counter of data sector i.
+func (s *SplitStore) Value(i uint64) uint64 {
+	gi := s.GroupOf(i)
+	g, ok := s.groups[gi]
+	if !ok {
+		return 0
+	}
+	return g.major<<uint(s.cfg.MinorBits) | uint64(g.minors[i%uint64(s.cfg.GroupSize)])
+}
+
+// Major returns group gi's major counter.
+func (s *SplitStore) Major(gi uint64) uint64 {
+	if g, ok := s.groups[gi]; ok {
+		return g.major
+	}
+	return 0
+}
+
+// Minor returns data sector i's minor counter.
+func (s *SplitStore) Minor(i uint64) uint32 {
+	if g, ok := s.groups[s.GroupOf(i)]; ok {
+		return g.minors[i%uint64(s.cfg.GroupSize)]
+	}
+	return 0
+}
+
+// Increment bumps sector i's counter for a writeback and returns the new
+// effective value. If the minor overflows, the group's major is
+// incremented, every minor resets to zero, OnOverflow fires, and
+// overflowed is true.
+func (s *SplitStore) Increment(i uint64) (value uint64, overflowed bool) {
+	g := s.groupFor(i)
+	slot := i % uint64(s.cfg.GroupSize)
+	if g.minors[slot] < s.minorMax {
+		g.minors[slot]++
+		return g.major<<uint(s.cfg.MinorBits) | uint64(g.minors[slot]), false
+	}
+	// Minor overflow: bump major, reset all minors, re-encrypt the group.
+	g.major++
+	for k := range g.minors {
+		g.minors[k] = 0
+	}
+	if s.OnOverflow != nil {
+		gi := s.GroupOf(i)
+		base := gi * uint64(s.cfg.GroupSize)
+		sectors := make([]uint64, s.cfg.GroupSize)
+		for k := range sectors {
+			sectors[k] = base + uint64(k)
+		}
+		s.OnOverflow(gi, sectors)
+	}
+	return g.major << uint(s.cfg.MinorBits), true
+}
+
+// Touched reports whether sector i's counter has ever been incremented.
+func (s *SplitStore) Touched(i uint64) bool { return s.Value(i) != 0 }
+
+// Groups returns the number of materialized counter groups (for tests).
+func (s *SplitStore) Groups() int { return len(s.groups) }

@@ -1,0 +1,211 @@
+package gcipher
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func testKey() [32]byte {
+	var k [32]byte
+	for i := range k {
+		k[i] = byte(i*7 + 3)
+	}
+	return k
+}
+
+func engines(t *testing.T) (cme, xts *Engine) {
+	t.Helper()
+	var err error
+	cme, err = NewEngine(ModeCME, testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	xts, err = NewEngine(ModeXTS, testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cme, xts
+}
+
+func TestNewEngineRejectsBadMode(t *testing.T) {
+	if _, err := NewEngine(Mode(9), testKey()); err == nil {
+		t.Error("NewEngine(9) succeeded, want error")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeCME.String() != "cme" || ModeXTS.String() != "xts" {
+		t.Errorf("mode names: %v %v", ModeCME, ModeXTS)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	cme, xts := engines(t)
+	pt := []byte("0123456789abcdefFEDCBA9876543210") // one 32 B sector
+	for _, e := range []*Engine{cme, xts} {
+		ct, err := e.Encrypt(pt, 0x4000, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(ct, pt) {
+			t.Errorf("%v: ciphertext equals plaintext", e.Mode())
+		}
+		back, err := e.Decrypt(ct, 0x4000, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(back, pt) {
+			t.Errorf("%v: round trip failed: %x", e.Mode(), back)
+		}
+	}
+}
+
+func TestRejectsShortInput(t *testing.T) {
+	_, xts := engines(t)
+	if _, err := xts.Encrypt(make([]byte, 8), 0, 0); err == nil {
+		t.Error("Encrypt accepted 8-byte input")
+	}
+}
+
+func TestTweakUniqueness(t *testing.T) {
+	_, xts := engines(t)
+	pt := make([]byte, 32)
+	c1, _ := xts.Encrypt(pt, 0x1000, 1)
+	c2, _ := xts.Encrypt(pt, 0x1020, 1) // different address
+	c3, _ := xts.Encrypt(pt, 0x1000, 2) // different counter
+	if bytes.Equal(c1, c2) {
+		t.Error("same ciphertext for different addresses (spatial dictionary attack)")
+	}
+	if bytes.Equal(c1, c3) {
+		t.Error("same ciphertext for different counters (temporal dictionary attack)")
+	}
+}
+
+// CME is malleable: flipping ciphertext bit i flips exactly plaintext bit i.
+func TestCMEMalleability(t *testing.T) {
+	cme, _ := engines(t)
+	pt := []byte("malleability-test-32-byte-vector")
+	ct, _ := cme.Encrypt(pt, 0x2000, 3)
+	ct[5] ^= 0x10
+	back, _ := cme.Decrypt(ct, 0x2000, 3)
+	diff := 0
+	for i := range pt {
+		if back[i] != pt[i] {
+			diff++
+			if i != 5 || back[i]^pt[i] != 0x10 {
+				t.Errorf("CME flip leaked to byte %d (delta %#x)", i, back[i]^pt[i])
+			}
+		}
+	}
+	if diff != 1 {
+		t.Errorf("CME flip changed %d bytes, want exactly 1", diff)
+	}
+}
+
+// XTS resists malleability: flipping one ciphertext bit re-randomizes the
+// whole 16 B cipher block (and only that block).
+func TestXTSMalleabilityResistance(t *testing.T) {
+	_, xts := engines(t)
+	pt := []byte("malleability-test-32-byte-vector")
+	ct, _ := xts.Encrypt(pt, 0x2000, 3)
+	ct[5] ^= 0x10 // inside the first 16 B cipher block
+	back, _ := xts.Decrypt(ct, 0x2000, 3)
+
+	diffFirst := 0
+	for i := 0; i < 16; i++ {
+		if back[i] != pt[i] {
+			diffFirst++
+		}
+	}
+	if diffFirst < 8 {
+		t.Errorf("XTS flip changed only %d bytes of the tampered block; expected diffusion", diffFirst)
+	}
+	if !bytes.Equal(back[16:], pt[16:]) {
+		t.Error("XTS flip leaked beyond the tampered cipher block")
+	}
+}
+
+func TestCiphertextStealingRoundTrip(t *testing.T) {
+	_, xts := engines(t)
+	for _, n := range []int{17, 23, 31, 33, 47, 100} {
+		pt := make([]byte, n)
+		for i := range pt {
+			pt[i] = byte(i * 13)
+		}
+		ct, err := xts.Encrypt(pt, 0x8000, 9)
+		if err != nil {
+			t.Fatalf("len %d: %v", n, err)
+		}
+		if len(ct) != n {
+			t.Fatalf("len %d: ciphertext length %d", n, len(ct))
+		}
+		back, err := xts.Decrypt(ct, 0x8000, 9)
+		if err != nil {
+			t.Fatalf("len %d: %v", n, err)
+		}
+		if !bytes.Equal(back, pt) {
+			t.Fatalf("len %d: stealing round trip failed", n)
+		}
+	}
+}
+
+func TestMulAlphaMatchesGF(t *testing.T) {
+	// α·1 = x, i.e. shifting 0x01 left by one bit.
+	var tw [16]byte
+	tw[0] = 1
+	mulAlpha(&tw)
+	if tw[0] != 2 {
+		t.Errorf("mulAlpha(1) low byte = %#x, want 2", tw[0])
+	}
+	// High-bit overflow applies the reduction polynomial 0x87.
+	var hi [16]byte
+	hi[15] = 0x80
+	mulAlpha(&hi)
+	if hi[0] != 0x87 || hi[15] != 0 {
+		t.Errorf("mulAlpha(x^127) = %x, want reduction by 0x87", hi)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	_, xts := engines(t)
+	cme, _ := engines(t)
+	f := func(seed [32]byte, addr uint32, ctr uint16) bool {
+		for _, e := range []*Engine{cme, xts} {
+			ct, err := e.Encrypt(seed[:], uint64(addr), uint64(ctr))
+			if err != nil {
+				return false
+			}
+			back, err := e.Decrypt(ct, uint64(addr), uint64(ctr))
+			if err != nil || !bytes.Equal(back, seed[:]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkXTSEncryptSector(b *testing.B) {
+	e := MustEngine(ModeXTS, testKey())
+	pt := make([]byte, 32)
+	b.SetBytes(32)
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Encrypt(pt, uint64(i)*32, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCMEEncryptSector(b *testing.B) {
+	e := MustEngine(ModeCME, testKey())
+	pt := make([]byte, 32)
+	b.SetBytes(32)
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Encrypt(pt, uint64(i)*32, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package geom defines the address geometry of the simulated GPU memory
+// system: cache blocks, sectors, the protected physical range, and the
+// pseudo-random interleaving of addresses across memory partitions.
+//
+// The geometry follows the paper's Volta-based configuration: 128-byte
+// cache blocks divided into four 32-byte sectors, with sectors being the
+// unit of DRAM access, and a configurable number of memory partitions
+// using pseudo-random (XOR-swizzled) interleaving. Following PSSM,
+// security metadata is addressed with partition-local addresses, so the
+// package also provides the global-to-local translation.
+package geom
+
+import "fmt"
+
+const (
+	// BlockSize is the cache-line size in bytes (L2 and metadata caches).
+	BlockSize = 128
+	// SectorSize is the DRAM access granularity in bytes.
+	SectorSize = 32
+	// SectorsPerBlock is the number of sectors per cache block.
+	SectorsPerBlock = BlockSize / SectorSize
+	// InterleaveStride is the number of consecutive bytes mapped to one
+	// partition before moving to the next (two cache blocks, as in
+	// GPGPU-Sim's default pseudo-random interleaving).
+	InterleaveStride = 256
+)
+
+// Addr is a physical byte address in the simulated device memory.
+type Addr uint64
+
+// BlockAddr returns the address of the 128 B block containing a.
+func BlockAddr(a Addr) Addr { return a &^ (BlockSize - 1) }
+
+// SectorAddr returns the address of the 32 B sector containing a.
+func SectorAddr(a Addr) Addr { return a &^ (SectorSize - 1) }
+
+// SectorInBlock returns the index (0..3) of a's sector within its block.
+func SectorInBlock(a Addr) int { return int(a%BlockSize) / SectorSize }
+
+// SectorMask is a bitmask over the four sectors of a 128 B block.
+type SectorMask uint8
+
+// AllSectors selects every sector of a block.
+const AllSectors SectorMask = 1<<SectorsPerBlock - 1
+
+// MaskFor returns the mask selecting only a's sector.
+func MaskFor(a Addr) SectorMask { return 1 << SectorInBlock(a) }
+
+// Has reports whether sector i is selected.
+func (m SectorMask) Has(i int) bool { return m&(1<<i) != 0 }
+
+// Count returns the number of selected sectors.
+func (m SectorMask) Count() int {
+	n := 0
+	for i := 0; i < SectorsPerBlock; i++ {
+		if m.Has(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// Sectors calls fn for each selected sector index.
+func (m SectorMask) Sectors(fn func(i int)) {
+	for i := 0; i < SectorsPerBlock; i++ {
+		if m.Has(i) {
+			fn(i)
+		}
+	}
+}
+
+// Interleaver maps global physical addresses to (partition, local address)
+// pairs. Partition count must be a power of two; the mapping XOR-swizzles
+// higher chunk-index bits into the partition selector so that strided
+// access patterns spread across partitions (pseudo-random interleaving),
+// while remaining a bijection: within any aligned group of P consecutive
+// 256 B chunks, each partition receives exactly one chunk.
+type Interleaver struct {
+	parts int
+	shift uint // log2(parts)
+}
+
+// NewInterleaver returns an Interleaver over parts partitions.
+// parts must be a power of two and at least 1.
+func NewInterleaver(parts int) (*Interleaver, error) {
+	if parts < 1 || parts&(parts-1) != 0 {
+		return nil, fmt.Errorf("geom: partition count %d is not a power of two", parts)
+	}
+	s := uint(0)
+	for 1<<s < parts {
+		s++
+	}
+	return &Interleaver{parts: parts, shift: s}, nil
+}
+
+// MustInterleaver is like NewInterleaver but panics on invalid input.
+// It is intended for configuration literals.
+func MustInterleaver(parts int) *Interleaver {
+	il, err := NewInterleaver(parts)
+	if err != nil {
+		panic(err)
+	}
+	return il
+}
+
+// Partitions returns the number of memory partitions.
+func (il *Interleaver) Partitions() int { return il.parts }
+
+// Partition returns the memory partition serving address a.
+func (il *Interleaver) Partition(a Addr) int {
+	if il.parts == 1 {
+		return 0
+	}
+	chunk := uint64(a) / InterleaveStride
+	// Fold higher chunk-index bit groups into the selector. Because the
+	// fold is an XOR with bits above the selector, the map from the low
+	// log2(parts) chunk bits to partitions is a bijection for any fixed
+	// upper bits.
+	sel := chunk ^ (chunk >> il.shift) ^ (chunk >> (2 * il.shift)) ^ (chunk >> (3 * il.shift))
+	return int(sel & uint64(il.parts-1))
+}
+
+// LocalAddr returns the partition-local address of a: the dense byte
+// offset of a within its partition's slice of the address space. PSSM
+// organizes all security metadata using these local addresses so that
+// metadata for a partition's data always resides in the same partition.
+func (il *Interleaver) LocalAddr(a Addr) Addr {
+	chunk := uint64(a) / InterleaveStride
+	off := uint64(a) % InterleaveStride
+	return Addr((chunk>>il.shift)*InterleaveStride + off)
+}
+
+// GlobalAddr inverts LocalAddr for a given partition. It returns the
+// global address whose (Partition, LocalAddr) is (part, local).
+func (il *Interleaver) GlobalAddr(part int, local Addr) Addr {
+	chunkLocal := uint64(local) / InterleaveStride
+	off := uint64(local) % InterleaveStride
+	upper := chunkLocal // bits above the selector
+	// Reconstruct the low selector bits: sel = low ^ fold(upper), so
+	// low = sel ^ fold(upper) where fold folds the upper groups.
+	fold := upper ^ (upper >> il.shift) ^ (upper >> (2 * il.shift))
+	low := (uint64(part) ^ fold) & uint64(il.parts-1)
+	chunk := upper<<il.shift | low
+	return Addr(chunk*InterleaveStride + off)
+}

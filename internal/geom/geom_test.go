@@ -1,0 +1,125 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockAndSectorAddr(t *testing.T) {
+	cases := []struct {
+		a      Addr
+		block  Addr
+		sector Addr
+		idx    int
+	}{
+		{0, 0, 0, 0},
+		{1, 0, 0, 0},
+		{31, 0, 0, 0},
+		{32, 0, 32, 1},
+		{127, 0, 96, 3},
+		{128, 128, 128, 0},
+		{130, 128, 128, 0},
+		{0x1000 + 65, 0x1000, 0x1000 + 64, 2},
+	}
+	for _, c := range cases {
+		if got := BlockAddr(c.a); got != c.block {
+			t.Errorf("BlockAddr(%#x) = %#x, want %#x", c.a, got, c.block)
+		}
+		if got := SectorAddr(c.a); got != c.sector {
+			t.Errorf("SectorAddr(%#x) = %#x, want %#x", c.a, got, c.sector)
+		}
+		if got := SectorInBlock(c.a); got != c.idx {
+			t.Errorf("SectorInBlock(%#x) = %d, want %d", c.a, got, c.idx)
+		}
+	}
+}
+
+func TestSectorMask(t *testing.T) {
+	if AllSectors.Count() != 4 {
+		t.Fatalf("AllSectors.Count() = %d, want 4", AllSectors.Count())
+	}
+	m := MaskFor(96)
+	if !m.Has(3) || m.Count() != 1 {
+		t.Errorf("MaskFor(96) = %04b, want sector 3 only", m)
+	}
+	var seen []int
+	SectorMask(0b1010).Sectors(func(i int) { seen = append(seen, i) })
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 3 {
+		t.Errorf("Sectors(0b1010) visited %v, want [1 3]", seen)
+	}
+}
+
+func TestNewInterleaverRejectsNonPowerOfTwo(t *testing.T) {
+	for _, p := range []int{0, -1, 3, 6, 12, 33} {
+		if _, err := NewInterleaver(p); err == nil {
+			t.Errorf("NewInterleaver(%d) succeeded, want error", p)
+		}
+	}
+	for _, p := range []int{1, 2, 4, 8, 16, 32} {
+		if _, err := NewInterleaver(p); err != nil {
+			t.Errorf("NewInterleaver(%d) failed: %v", p, err)
+		}
+	}
+}
+
+// Every partition must receive exactly one chunk out of each aligned group
+// of P consecutive chunks: the interleave must be a bijection.
+func TestInterleaverBijection(t *testing.T) {
+	for _, parts := range []int{1, 2, 8, 32} {
+		il := MustInterleaver(parts)
+		for group := 0; group < 64; group++ {
+			seen := make(map[int]bool)
+			for i := 0; i < parts; i++ {
+				a := Addr((group*parts + i) * InterleaveStride)
+				p := il.Partition(a)
+				if p < 0 || p >= parts {
+					t.Fatalf("parts=%d: Partition(%#x) = %d out of range", parts, a, p)
+				}
+				if seen[p] {
+					t.Fatalf("parts=%d group=%d: partition %d hit twice", parts, group, p)
+				}
+				seen[p] = true
+			}
+		}
+	}
+}
+
+// LocalAddr must be dense per partition: consecutive chunks landing on the
+// same partition get consecutive local chunk indices.
+func TestLocalAddrDense(t *testing.T) {
+	il := MustInterleaver(8)
+	next := make(map[int]Addr)
+	for chunk := 0; chunk < 4096; chunk++ {
+		a := Addr(chunk * InterleaveStride)
+		p := il.Partition(a)
+		want := next[p]
+		if got := il.LocalAddr(a); got != want {
+			t.Fatalf("chunk %d on partition %d: LocalAddr = %#x, want %#x", chunk, p, got, want)
+		}
+		next[p] = want + InterleaveStride
+	}
+}
+
+func TestGlobalAddrRoundTrip(t *testing.T) {
+	il := MustInterleaver(32)
+	f := func(raw uint32) bool {
+		a := Addr(raw) % (1 << 30)
+		p := il.Partition(a)
+		return il.GlobalAddr(p, il.LocalAddr(a)) == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionPreservedWithinBlock(t *testing.T) {
+	il := MustInterleaver(16)
+	for base := Addr(0); base < 1<<16; base += BlockSize {
+		p := il.Partition(base)
+		for off := Addr(0); off < BlockSize; off++ {
+			if il.Partition(base+off) != p {
+				t.Fatalf("block %#x spans partitions", base)
+			}
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package gpusim
+
+import (
+	"testing"
+
+	"github.com/plutus-gpu/plutus/internal/geom"
+	"github.com/plutus-gpu/plutus/internal/secmem"
+)
+
+// Two identical simulations must agree bit-for-bit on every statistic:
+// the event kernel is deterministic and nothing depends on map iteration
+// order or wall-clock time.
+func TestSimulationDeterminism(t *testing.T) {
+	run := func() (uint64, uint64, uint64) {
+		wl := newScript(8, []Inst{
+			{Kind: Load, Addrs: []geom.Addr{0x100, 0x2100, 0x4100}},
+			{Kind: Compute, Cycles: 5},
+			{Kind: Store, Addrs: []geom.Addr{0x100}},
+			{Kind: Load, Addrs: []geom.Addr{0x8000, 0x8100}},
+		})
+		cfg := testCfg(secmem.Plutus(1 << 22))
+		g, err := New(cfg, wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := g.Run()
+		return st.Cycles, st.Traffic.Total(), st.Sec.ValueVerified
+	}
+	c1, t1, v1 := run()
+	c2, t2, v2 := run()
+	if c1 != c2 || t1 != t2 || v1 != v2 {
+		t.Fatalf("nondeterministic run: (%d,%d,%d) vs (%d,%d,%d)", c1, t1, v1, c2, t2, v2)
+	}
+}
+
+// Every supported scheme must complete a mixed workload with zero false
+// alarms and all warps retired — the full cross-product sanity matrix.
+func TestAllSchemesCompleteMixedWorkload(t *testing.T) {
+	script := []Inst{
+		{Kind: Load, Addrs: []geom.Addr{0x0, 0x1000, 0x2000}},
+		{Kind: Store, Addrs: []geom.Addr{0x0}},
+		{Kind: Compute, Cycles: 3},
+		{Kind: Load, Addrs: []geom.Addr{0x0}},
+		{Kind: Store, Addrs: []geom.Addr{0x3000}},
+		{Kind: Load, Addrs: []geom.Addr{0x3000, 0x4000}},
+	}
+	schemes := []secmem.Config{
+		secmem.Baseline(1 << 22),
+		secmem.PSSM(1 << 22),
+		secmem.PSSM4B(1 << 22),
+		secmem.CommonCtr(1 << 22),
+		secmem.PlutusValueOnly(1 << 22),
+		secmem.PlutusFineGrain(1<<22, secmem.GranCtr32BMT128),
+		secmem.PlutusFineGrain(1<<22, secmem.GranAll32),
+		secmem.Plutus(1 << 22),
+		secmem.PlutusNoTree(1 << 22),
+	}
+	for _, sc := range schemes {
+		sc := sc
+		t.Run(sc.Scheme, func(t *testing.T) {
+			g, err := New(testCfg(sc), newScript(6, script))
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := g.Run()
+			if g.activeWarps != 0 {
+				t.Fatalf("%d warps hung", g.activeWarps)
+			}
+			if st.Instructions != 36 {
+				t.Fatalf("instructions = %d, want 36", st.Instructions)
+			}
+			if st.Sec.TamperDetected+st.Sec.ReplayDetected != 0 {
+				t.Fatalf("false alarms: %+v", st.Sec)
+			}
+		})
+	}
+}
+
+// Secure schemes must not change the data the program observes: run the
+// same write/read script under nosec and Plutus and compare the DRAM
+// images... observable here as identical per-warp completion of reads
+// with correct flush traffic (data writes must match across schemes).
+func TestDataWritesMatchAcrossSchemes(t *testing.T) {
+	script := []Inst{
+		{Kind: Store, Addrs: []geom.Addr{0x100}},
+		{Kind: Store, Addrs: []geom.Addr{0x5100}},
+		{Kind: Load, Addrs: []geom.Addr{0x100, 0x5100}},
+	}
+	counts := map[string]uint64{}
+	for _, sc := range []secmem.Config{secmem.Baseline(1 << 22), secmem.Plutus(1 << 22)} {
+		g, err := New(testCfg(sc), newScript(2, script))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := g.Run()
+		counts[sc.Scheme] = st.Traffic.Writes[0] // data-class writes
+	}
+	if counts["nosec"] != counts["plutus"] {
+		t.Fatalf("data write transactions differ: %v", counts)
+	}
+}

@@ -1,0 +1,449 @@
+package gpusim
+
+import (
+	"fmt"
+
+	"github.com/plutus-gpu/plutus/internal/cache"
+	"github.com/plutus-gpu/plutus/internal/dram"
+	"github.com/plutus-gpu/plutus/internal/geom"
+	"github.com/plutus-gpu/plutus/internal/secmem"
+	"github.com/plutus-gpu/plutus/internal/sim"
+	"github.com/plutus-gpu/plutus/internal/stats"
+)
+
+// GPU is one simulated device executing one workload.
+type GPU struct {
+	cfg   Config
+	eng   *sim.Engine
+	il    *geom.Interleaver
+	wl    Workload
+	parts []*partition
+	sms   []*smCtx
+	warps []*warpCtx
+
+	issued      uint64
+	loads       uint64
+	stores      uint64
+	activeWarps int
+	budgetDone  bool
+}
+
+type partition struct {
+	id     int
+	gpu    *GPU
+	l2     *cache.Cache
+	l2data map[geom.Addr][]byte // local sector addr → plaintext
+	sec    *secmem.Engine
+	ch     *dram.Channel
+	st     *stats.Stats
+	l2Free sim.Cycle // L2 bank single-issue ladder
+	// mshrWait queues requests blocked on a full L2 MSHR file; they are
+	// released when a fill frees an entry (no polling).
+	mshrWait []func()
+}
+
+// releaseMSHRWaiters wakes as many blocked requests as there are free
+// MSHR entries (waking more would only re-park them).
+func (p *partition) releaseMSHRWaiters() {
+	n := p.l2.FreeMSHRs()
+	if n > len(p.mshrWait) {
+		n = len(p.mshrWait)
+	}
+	if n <= 0 {
+		return
+	}
+	q := p.mshrWait[:n]
+	p.mshrWait = append(p.mshrWait[:0:0], p.mshrWait[n:]...)
+	for _, fn := range q {
+		p.gpu.eng.Schedule(1, fn)
+	}
+}
+
+type smCtx struct {
+	// slotFree is the next free issue slot, in units of 1/IssueWidth
+	// cycle, so multi-issue SMs are modelled without fractional cycles.
+	slotFree uint64
+}
+
+type warpCtx struct {
+	id, sm      int
+	active      bool
+	outstanding int  // loads in flight
+	blocked     bool // stalled on MaxPendingLoads
+}
+
+// loadCtx tracks one load instruction's outstanding sectors.
+type loadCtx struct {
+	remaining int
+}
+
+// New builds a GPU running workload wl under cfg.
+func New(cfg Config, wl Workload) (*GPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	il, err := geom.NewInterleaver(cfg.Partitions)
+	if err != nil {
+		return nil, err
+	}
+	g := &GPU{cfg: cfg, eng: &sim.Engine{}, il: il, wl: wl}
+
+	for p := 0; p < cfg.Partitions; p++ {
+		part := &partition{
+			id:     p,
+			gpu:    g,
+			l2data: make(map[geom.Addr][]byte),
+			st:     &stats.Stats{},
+		}
+		part.l2 = cache.MustNew(cache.Config{
+			Name:      fmt.Sprintf("l2.%d", p),
+			SizeBytes: cfg.L2PerPartition,
+			BlockSize: geom.BlockSize,
+			Ways:      cfg.L2Ways,
+			MSHRs:     cfg.L2MSHRs,
+		})
+		part.ch = dram.MustNew(cfg.DRAM, g.eng, &part.st.Traffic)
+		sec := cfg.Sec
+		part.sec, err = secmem.New(sec, g.eng, part.ch, part.st)
+		if err != nil {
+			return nil, err
+		}
+		p := p
+		part.sec.InitData = func(local geom.Addr) []byte {
+			buf := make([]byte, geom.SectorSize)
+			global := il.GlobalAddr(p, local)
+			for k := 0; k < geom.SectorSize/4; k++ {
+				v := wl.MemValue(global + geom.Addr(k*4))
+				buf[k*4] = byte(v)
+				buf[k*4+1] = byte(v >> 8)
+				buf[k*4+2] = byte(v >> 16)
+				buf[k*4+3] = byte(v >> 24)
+			}
+			return buf
+		}
+		g.parts = append(g.parts, part)
+	}
+
+	g.sms = make([]*smCtx, cfg.SMs)
+	for i := range g.sms {
+		g.sms[i] = &smCtx{}
+	}
+	n := wl.Warps()
+	g.warps = make([]*warpCtx, n)
+	for w := 0; w < n; w++ {
+		g.warps[w] = &warpCtx{id: w, sm: w % cfg.SMs, active: true}
+	}
+	g.activeWarps = n
+	return g, nil
+}
+
+// Run executes the workload to completion (or budget exhaustion) and
+// returns the merged statistics.
+func (g *GPU) Run() *stats.Stats {
+	for _, w := range g.warps {
+		w := w
+		g.eng.Schedule(0, func() { g.fetch(w) })
+	}
+	// 2^34 events is far beyond any legitimate run; treat as livelock.
+	if !g.eng.Drain(1 << 34) {
+		panic("gpusim: event livelock")
+	}
+
+	// Final writeback accounting: flush dirty L2 and metadata.
+	for _, p := range g.parts {
+		p.flushL2()
+	}
+	g.eng.Drain(1 << 30)
+	for _, p := range g.parts {
+		p.sec.FlushDirtyMetadata()
+	}
+	g.eng.Drain(1 << 30)
+
+	out := &stats.Stats{
+		Benchmark:    g.wl.Name(),
+		Scheme:       g.cfg.Sec.Scheme,
+		Cycles:       uint64(g.eng.Now()),
+		Instructions: g.issued,
+		MemInsts:     g.loads + g.stores,
+		LoadInsts:    g.loads,
+		StoreInsts:   g.stores,
+	}
+	for _, p := range g.parts {
+		p.sec.FinishStats()
+		p.st.L2 = p.l2.Stats
+		out.Traffic.Add(&p.st.Traffic)
+		out.Sec.Add(&p.st.Sec)
+		out.L2.Add(&p.st.L2)
+		out.CounterCache.Add(&p.st.CounterCache)
+		out.MACCache.Add(&p.st.MACCache)
+		out.BMTCache.Add(&p.st.BMTCache)
+		out.CompactCache.Add(&p.st.CompactCache)
+		out.CompactBMTC.Add(&p.st.CompactBMTC)
+	}
+	return out
+}
+
+// fetch advances warp w to its next instruction.
+func (g *GPU) fetch(w *warpCtx) {
+	if !w.active {
+		return
+	}
+	if g.budgetDone {
+		g.retire(w)
+		return
+	}
+	inst, ok := g.wl.Next(w.id)
+	if !ok {
+		g.retire(w)
+		return
+	}
+	g.issued++
+	if g.cfg.MaxInstructions > 0 && g.issued >= g.cfg.MaxInstructions {
+		g.budgetDone = true
+	}
+
+	// Reserve an issue slot on the warp's SM.
+	sm := g.sms[w.sm]
+	now := g.eng.Now()
+	slotNow := uint64(now) * uint64(g.cfg.IssueWidth)
+	if sm.slotFree < slotNow {
+		sm.slotFree = slotNow
+	}
+	t := sim.Cycle(sm.slotFree / uint64(g.cfg.IssueWidth))
+	sm.slotFree++
+
+	g.eng.Schedule(t-now, func() { g.execute(w, inst) })
+}
+
+// execute runs one instruction at its issue slot.
+func (g *GPU) execute(w *warpCtx, inst Inst) {
+	switch inst.Kind {
+	case Compute:
+		c := inst.Cycles
+		if c < 1 {
+			c = 1
+		}
+		g.eng.Schedule(sim.Cycle(c), func() { g.fetch(w) })
+	case Load:
+		g.loads++
+		sectors := coalesce(inst.Addrs)
+		if len(sectors) == 0 {
+			g.eng.Schedule(1, func() { g.fetch(w) })
+			return
+		}
+		w.outstanding++
+		lc := &loadCtx{remaining: len(sectors)}
+		for _, s := range sectors {
+			g.routeLoad(w, lc, s)
+		}
+		// Warps tolerate several loads in flight (intra-warp MLP); they
+		// stall only at the MLP limit.
+		if w.outstanding < g.cfg.MaxPendingLoads {
+			g.eng.Schedule(1, func() { g.fetch(w) })
+		} else {
+			w.blocked = true
+		}
+	case Store:
+		g.stores++
+		for _, s := range coalesce(inst.Addrs) {
+			g.routeStore(w, s)
+		}
+		// Stores retire immediately (write-back hierarchy absorbs them).
+		g.eng.Schedule(1, func() { g.fetch(w) })
+	}
+}
+
+func (g *GPU) retire(w *warpCtx) {
+	if w.active {
+		w.active = false
+		g.activeWarps--
+	}
+}
+
+// coalesce reduces per-thread addresses to their unique sectors,
+// preserving first-touch order.
+func coalesce(addrs []geom.Addr) []geom.Addr {
+	out := addrs[:0:0]
+	seen := make(map[geom.Addr]struct{}, len(addrs))
+	for _, a := range addrs {
+		s := geom.SectorAddr(a)
+		if _, ok := seen[s]; ok {
+			continue
+		}
+		seen[s] = struct{}{}
+		out = append(out, s)
+	}
+	return out
+}
+
+// routeLoad sends a load sector request across the interconnect.
+func (g *GPU) routeLoad(w *warpCtx, lc *loadCtx, sector geom.Addr) {
+	p := g.parts[g.il.Partition(sector)]
+	local := g.il.LocalAddr(sector)
+	g.eng.Schedule(g.cfg.XbarLatency, func() {
+		p.load(local, func() {
+			// Response crosses back to the SM.
+			g.eng.Schedule(g.cfg.XbarLatency, func() {
+				lc.remaining--
+				if lc.remaining == 0 {
+					w.outstanding--
+					if w.blocked {
+						w.blocked = false
+						g.fetch(w)
+					}
+				}
+			})
+		})
+	})
+}
+
+// routeStore sends a store across the interconnect, materializing the
+// sector's store data from the workload.
+func (g *GPU) routeStore(w *warpCtx, sector geom.Addr) {
+	p := g.parts[g.il.Partition(sector)]
+	local := g.il.LocalAddr(sector)
+	data := make([]byte, geom.SectorSize)
+	for k := 0; k < geom.SectorSize/4; k++ {
+		v := g.wl.StoreValue(w.id, sector+geom.Addr(k*4))
+		data[k*4] = byte(v)
+		data[k*4+1] = byte(v >> 8)
+		data[k*4+2] = byte(v >> 16)
+		data[k*4+3] = byte(v >> 24)
+	}
+	g.eng.Schedule(g.cfg.XbarLatency, func() { p.store(local, data) })
+}
+
+// load services a load sector at the partition's L2.
+func (p *partition) load(local geom.Addr, respond func()) {
+	g := p.gpu
+	now := g.eng.Now()
+	t := now
+	if p.l2Free > t {
+		t = p.l2Free
+	}
+	p.l2Free = t + 1
+	g.eng.Schedule(t-now, func() { p.l2Load(local, respond) })
+}
+
+func (p *partition) l2Load(local geom.Addr, respond func()) {
+	g := p.gpu
+	mask := geom.MaskFor(local)
+	out, need, m := p.l2.Lookup(local, mask, false, nil)
+	switch out {
+	case cache.Hit:
+		g.eng.Schedule(g.cfg.L2HitLatency, respond)
+	case cache.MissMerged:
+		m.AddWaiter(respond)
+	case cache.Miss:
+		m.AddWaiter(respond)
+		p.sec.Read(local, func(res secmem.ReadResult) {
+			sa := geom.SectorAddr(local)
+			// A store may have raced ahead of this fill; its dirty data
+			// is newer than what memory returned.
+			if p.l2.DirtyMask(sa)&geom.MaskFor(sa) == 0 {
+				p.l2data[sa] = res.Data
+			}
+			evs, done, waiters := p.l2.FillSectors(m, need, false)
+			p.handleL2Evictions(evs)
+			if done {
+				for _, fn := range waiters {
+					fn()
+				}
+				p.releaseMSHRWaiters()
+			}
+		})
+	case cache.MissNoMSHR:
+		p.mshrWait = append(p.mshrWait, func() { p.l2Load(local, respond) })
+	}
+}
+
+// store services a store sector: write-allocate without fetch (coalesced
+// GPU stores cover whole sectors).
+func (p *partition) store(local geom.Addr, data []byte) {
+	g := p.gpu
+	now := g.eng.Now()
+	t := now
+	if p.l2Free > t {
+		t = p.l2Free
+	}
+	p.l2Free = t + 1
+	g.eng.Schedule(t-now, func() {
+		mask := geom.MaskFor(local)
+		// Stores must not allocate MSHRs (nothing will ever fill them):
+		// hit → mark dirty in place; miss → write-allocate without fetch
+		// (coalesced GPU stores cover whole sectors).
+		if p.l2.Probe(local)&mask == mask {
+			p.l2.MarkDirty(local, mask)
+			p.l2.Stats.Hits++
+		} else {
+			p.l2.Stats.Misses++
+			evs := p.l2.Insert(local, mask, true)
+			p.handleL2Evictions(evs)
+		}
+		p.l2data[geom.SectorAddr(local)] = data
+	})
+}
+
+// handleL2Evictions writes back dirty sectors of evicted L2 blocks.
+func (p *partition) handleL2Evictions(evs []cache.Eviction) {
+	for _, ev := range evs {
+		for s := 0; s < geom.SectorsPerBlock; s++ {
+			sa := ev.Addr + geom.Addr(s*geom.SectorSize)
+			data, resident := p.l2data[sa]
+			if ev.Dirty.Has(s) {
+				if !resident {
+					panic(fmt.Sprintf("gpusim: dirty L2 sector %#x has no data", sa))
+				}
+				p.sec.Writeback(sa, data, nil)
+			}
+			delete(p.l2data, sa)
+		}
+	}
+}
+
+// flushL2 writes back all remaining dirty L2 sectors at end of run.
+func (p *partition) flushL2() {
+	p.l2.WalkDirty(func(block geom.Addr, dirty geom.SectorMask) {
+		dirty.Sectors(func(s int) {
+			sa := block + geom.Addr(s*geom.SectorSize)
+			if data, ok := p.l2data[sa]; ok {
+				p.sec.Writeback(sa, data, nil)
+			}
+		})
+		p.l2.CleanSectors(block, dirty)
+	})
+}
+
+// RunDebug is Run with a progress callback every 2^22 events (diagnostic
+// aid; not part of the stable API).
+func (g *GPU) RunDebug(progress func(events, now, issued uint64, active int)) *stats.Stats {
+	for _, w := range g.warps {
+		w := w
+		g.eng.Schedule(0, func() { g.fetch(w) })
+	}
+	var n uint64
+	for g.eng.Step() {
+		n++
+		if n%(1<<20) == 0 && progress != nil {
+			progress(n, uint64(g.eng.Now()), g.issued, g.activeWarps)
+		}
+	}
+	return &stats.Stats{Cycles: uint64(g.eng.Now()), Instructions: g.issued}
+}
+
+// DebugHungWarps reports warps still active with outstanding sectors
+// after the event queue drained (diagnostic aid).
+func (g *GPU) DebugHungWarps() (active, pendingSum int, mshrWait int, l2Inflight int, secPending int) {
+	for _, w := range g.warps {
+		if w.active {
+			active++
+			pendingSum += w.outstanding
+		}
+	}
+	for _, p := range g.parts {
+		mshrWait += len(p.mshrWait)
+		l2Inflight += p.l2.InflightMisses()
+		secPending += p.sec.Pending()
+	}
+	return
+}

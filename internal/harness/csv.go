@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/plutus-gpu/plutus/internal/secmem"
+	"github.com/plutus-gpu/plutus/internal/stats"
+)
+
+// WriteCSV dumps the raw per-run measurements for a scheme set as CSV —
+// the machine-readable companion to the per-figure text tables, intended
+// for external plotting.
+//
+// Columns: benchmark, scheme, instructions, cycles, ipc, data_bytes,
+// counter_bytes, mac_bytes, bmt_bytes, cctr_bytes, cbmt_bytes,
+// meta_bytes, value_verified, mac_verified, mac_skipped, power.
+func (r *Runner) WriteCSV(w io.Writer, schemes []secmem.Config) error {
+	if err := r.runMatrix(schemes); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	header := []string{
+		"benchmark", "scheme", "instructions", "cycles", "ipc",
+		"data_bytes", "counter_bytes", "mac_bytes", "bmt_bytes",
+		"cctr_bytes", "cbmt_bytes", "meta_bytes",
+		"value_verified", "mac_verified", "mac_skipped", "power",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	em := stats.DefaultEnergyModel()
+	for _, bench := range r.cfg.Benchmarks {
+		for _, sc := range schemes {
+			st, err := r.Run(bench, sc)
+			if err != nil {
+				return err
+			}
+			row := []string{
+				bench, sc.Scheme,
+				strconv.FormatUint(st.Instructions, 10),
+				strconv.FormatUint(st.Cycles, 10),
+				fmt.Sprintf("%.6f", st.IPC()),
+				strconv.FormatUint(st.Traffic.Bytes(stats.Data), 10),
+				strconv.FormatUint(st.Traffic.Bytes(stats.Counter), 10),
+				strconv.FormatUint(st.Traffic.Bytes(stats.MAC), 10),
+				strconv.FormatUint(st.Traffic.Bytes(stats.BMT), 10),
+				strconv.FormatUint(st.Traffic.Bytes(stats.CompactCounter), 10),
+				strconv.FormatUint(st.Traffic.Bytes(stats.CompactBMT), 10),
+				strconv.FormatUint(st.Traffic.MetadataBytes(), 10),
+				strconv.FormatUint(st.Sec.ValueVerified, 10),
+				strconv.FormatUint(st.Sec.MACVerified, 10),
+				strconv.FormatUint(st.Sec.MACSkippedWrites, 10),
+				fmt.Sprintf("%.3f", em.Power(st)),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,387 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/plutus-gpu/plutus/internal/counters"
+	"github.com/plutus-gpu/plutus/internal/geom"
+	"github.com/plutus-gpu/plutus/internal/gpusim"
+	"github.com/plutus-gpu/plutus/internal/secmem"
+	"github.com/plutus-gpu/plutus/internal/stats"
+	"github.com/plutus-gpu/plutus/internal/valcache"
+	"github.com/plutus-gpu/plutus/internal/workload"
+)
+
+// Figure identifies one reproducible experiment from the paper.
+type Figure struct {
+	ID    string
+	Title string
+	Run   func(r *Runner) (string, error)
+}
+
+// Figures lists every table/figure the reproduction regenerates, in paper
+// order.
+func Figures() []Figure {
+	return []Figure{
+		{"fig6", "Fig. 6: IPC of PSSM-secured GPU normalized to no security", Fig6},
+		{"fig7", "Fig. 7: DRAM traffic breakdown under PSSM (fraction of data traffic)", Fig7},
+		{"fig9", "Fig. 9: value-reuse rate of three matching scenarios (2 kB value cache)", Fig9},
+		{"fig10", "Fig. 10: memory-request read/write mix", Fig10},
+		{"fig15", "Fig. 15: value-based integrity verification vs PSSM (IPC norm. to no security)", Fig15},
+		{"fig16", "Fig. 16: metadata-granularity designs (IPC norm. to no security)", Fig16},
+		{"fig17", "Fig. 17: compact mirrored-counter designs (IPC norm. to no security)", Fig17},
+		{"fig18", "Fig. 18: Plutus overall vs PSSM and PSSM+CommonCounters (IPC norm. to no security)", Fig18},
+		{"fig19", "Fig. 19: security-metadata traffic, Plutus vs PSSM", Fig19},
+		{"fig20", "Fig. 20: Plutus with integrity-tree traffic eliminated (MGX-style)", Fig20},
+		{"fig21", "Fig. 21: sensitivity to value-cache size (value-verified read fraction / IPC)", Fig21},
+		{"fig22", "Fig. 22: average power normalized to no security", Fig22},
+		{"eq1", "Eq. 1: forgery-probability bound for the value-verification threshold", Eq1Table},
+	}
+}
+
+// FigureByID finds a figure by its ID.
+func FigureByID(id string) (Figure, error) {
+	for _, f := range Figures() {
+		if f.ID == id {
+			return f, nil
+		}
+	}
+	return Figure{}, fmt.Errorf("harness: unknown figure %q", id)
+}
+
+func pb(r *Runner) uint64 { return r.cfg.ProtectedBytes }
+
+// Fig6 reproduces the motivation result: security is expensive.
+func Fig6(r *Runner) (string, error) {
+	return r.ipcTable("IPC normalized to no-security baseline",
+		[]secmem.Config{secmem.Baseline(pb(r)), secmem.PSSM(pb(r))})
+}
+
+// Fig7 reproduces the traffic breakdown that motivates Plutus.
+func Fig7(r *Runner) (string, error) {
+	sc := secmem.PSSM(pb(r))
+	if err := r.runMatrix([]secmem.Config{sc}); err != nil {
+		return "", err
+	}
+	header := []string{"benchmark", "data", "counter", "mac", "bmt", "meta/data"}
+	var rows [][]string
+	for _, b := range r.cfg.Benchmarks {
+		st, err := r.Run(b, sc)
+		if err != nil {
+			return "", err
+		}
+		d := float64(st.Traffic.Bytes(stats.Data))
+		rows = append(rows, []string{
+			b, "1.00",
+			fmt.Sprintf("%.2f", float64(st.Traffic.Bytes(stats.Counter))/d),
+			fmt.Sprintf("%.2f", float64(st.Traffic.Bytes(stats.MAC))/d),
+			fmt.Sprintf("%.2f", float64(st.Traffic.Bytes(stats.BMT))/d),
+			fmt.Sprintf("%.2f", float64(st.Traffic.MetadataBytes())/d),
+		})
+	}
+	return "DRAM bytes by class, relative to demand data (PSSM)\n" + stats.Table(header, rows), nil
+}
+
+// Fig9 reproduces the value-locality study: the fraction of 32 B sector
+// accesses whose values would pass each of the three matching scenarios,
+// using a 512-entry (2 kB) value cache per partition as in §III-B.
+func Fig9(r *Runner) (string, error) {
+	type scenario struct {
+		name      string
+		mask      int
+		threshold int // per 128-bit half; 8-of-8 is modelled as 4-of-4
+	}
+	scenarios := []scenario{
+		{"all-8", 0, 4},
+		{"3-of-4 halves", 0, 3},
+		{"3-of-4 masked", 4, 3},
+	}
+	header := []string{"benchmark"}
+	for _, s := range scenarios {
+		header = append(header, s.name)
+	}
+	var rows [][]string
+	for _, bench := range r.cfg.Benchmarks {
+		row := []string{bench}
+		for _, s := range scenarios {
+			rate, err := valueReuseRate(bench, s.mask, s.threshold, r.cfg.MaxInstructions)
+			if err != nil {
+				return "", err
+			}
+			row = append(row, fmt.Sprintf("%.1f%%", 100*rate))
+		}
+		rows = append(rows, row)
+	}
+	return "Fraction of sector accesses passing value matching (2 kB/partition cache)\n" +
+		stats.Table(header, rows), nil
+}
+
+// valueReuseRate streams a benchmark's memory traffic through
+// per-partition value caches and reports the reuse fraction.
+func valueReuseRate(bench string, maskBits, threshold int, budget uint64) (float64, error) {
+	wl, err := workload.Get(bench)
+	if err != nil {
+		return 0, err
+	}
+	const parts = 8
+	il := geom.MustInterleaver(parts)
+	caches := make([]*valcache.Cache, parts)
+	for i := range caches {
+		caches[i] = valcache.MustNew(valcache.Config{
+			Entries: 512, PinnedFrac: 0.25, MaskBits: maskBits,
+			PinThreshold: 8, MatchThreshold: threshold,
+		})
+	}
+	var accesses, reused uint64
+	buf := make([]byte, geom.SectorSize)
+	var issued uint64
+	for w := 0; w < wl.Warps() && issued < budget; w++ {
+		for issued < budget {
+			inst, ok := wl.Next(w)
+			if !ok {
+				break
+			}
+			issued++
+			if inst.Kind == gpusim.Compute {
+				continue
+			}
+			seen := map[geom.Addr]bool{}
+			for _, a := range inst.Addrs {
+				s := geom.SectorAddr(a)
+				if seen[s] {
+					continue
+				}
+				seen[s] = true
+				vc := caches[il.Partition(s)]
+				for k := 0; k < geom.SectorSize/4; k++ {
+					v := wl.MemValue(s + geom.Addr(k*4))
+					buf[k*4] = byte(v)
+					buf[k*4+1] = byte(v >> 8)
+					buf[k*4+2] = byte(v >> 16)
+					buf[k*4+3] = byte(v >> 24)
+				}
+				accesses++
+				if inst.Kind == gpusim.Load && vc.VerifySector(buf).Verified {
+					reused++
+				}
+				vc.ObserveSector(buf)
+			}
+		}
+	}
+	if accesses == 0 {
+		return 0, nil
+	}
+	return float64(reused) / float64(accesses), nil
+}
+
+// Fig10 reproduces the read/write request mix.
+func Fig10(r *Runner) (string, error) {
+	sc := secmem.Baseline(pb(r))
+	if err := r.runMatrix([]secmem.Config{sc}); err != nil {
+		return "", err
+	}
+	header := []string{"benchmark", "reads", "writes", "read%"}
+	var rows [][]string
+	for _, b := range r.cfg.Benchmarks {
+		st, err := r.Run(b, sc)
+		if err != nil {
+			return "", err
+		}
+		tot := st.LoadInsts + st.StoreInsts
+		rows = append(rows, []string{
+			b,
+			fmt.Sprintf("%d", st.LoadInsts),
+			fmt.Sprintf("%d", st.StoreInsts),
+			fmt.Sprintf("%.1f%%", 100*float64(st.LoadInsts)/float64(tot)),
+		})
+	}
+	return "Memory instructions by direction\n" + stats.Table(header, rows), nil
+}
+
+// Fig15 isolates value-based integrity verification.
+func Fig15(r *Runner) (string, error) {
+	return r.ipcTable("IPC normalized to no security: PSSM vs PSSM+value-verification",
+		[]secmem.Config{secmem.Baseline(pb(r)), secmem.PSSM(pb(r)), secmem.PlutusValueOnly(pb(r))})
+}
+
+// Fig16 isolates the three metadata-granularity designs.
+func Fig16(r *Runner) (string, error) {
+	return r.ipcTable("IPC normalized to no security: metadata-block granularity",
+		[]secmem.Config{
+			secmem.Baseline(pb(r)),
+			secmem.PSSM(pb(r)), // all-128B
+			secmem.PlutusFineGrain(pb(r), secmem.GranCtr32BMT128),
+			secmem.PlutusFineGrain(pb(r), secmem.GranAll32),
+		})
+}
+
+// Fig17 isolates the three compact mirrored-counter designs.
+func Fig17(r *Runner) (string, error) {
+	return r.ipcTable("IPC normalized to no security: compact mirrored counters",
+		[]secmem.Config{
+			secmem.Baseline(pb(r)),
+			secmem.PSSM(pb(r)),
+			secmem.PlutusCompact(pb(r), counters.Compact2Bit),
+			secmem.PlutusCompact(pb(r), counters.Compact3Bit),
+			secmem.PlutusCompact(pb(r), counters.Compact3BitAdaptive),
+		})
+}
+
+// Fig18 is the headline comparison.
+func Fig18(r *Runner) (string, error) {
+	table, err := r.ipcTable("IPC normalized to no security: Plutus overall",
+		[]secmem.Config{
+			secmem.Baseline(pb(r)),
+			secmem.PSSM(pb(r)),
+			secmem.CommonCtr(pb(r)),
+			secmem.Plutus(pb(r)),
+		})
+	if err != nil {
+		return "", err
+	}
+	sp, err := r.CompareSchemes(secmem.PSSM(pb(r)), secmem.Plutus(pb(r)))
+	if err != nil {
+		return "", err
+	}
+	summary := fmt.Sprintf(
+		"\nHeadline: Plutus over PSSM: %+.2f%% IPC (max %+.2f%% on %s); paper reports +16.86%% (max +58.38%%).\n",
+		100*(sp.Mean-1), 100*(sp.Max-1), sp.MaxBench)
+	return table + summary, nil
+}
+
+// Fig19 reports the metadata-traffic reduction.
+func Fig19(r *Runner) (string, error) {
+	a, b := secmem.PSSM(pb(r)), secmem.Plutus(pb(r))
+	if err := r.runMatrix([]secmem.Config{a, b}); err != nil {
+		return "", err
+	}
+	header := []string{"benchmark", "pssm meta (KB)", "plutus meta (KB)", "reduction"}
+	var rows [][]string
+	var reductions []float64
+	for _, bench := range r.cfg.Benchmarks {
+		sa, err := r.Run(bench, a)
+		if err != nil {
+			return "", err
+		}
+		sb, err := r.Run(bench, b)
+		if err != nil {
+			return "", err
+		}
+		red := 1 - float64(sb.Traffic.MetadataBytes())/float64(sa.Traffic.MetadataBytes())
+		reductions = append(reductions, red)
+		rows = append(rows, []string{
+			bench,
+			fmt.Sprintf("%d", sa.Traffic.MetadataBytes()/1024),
+			fmt.Sprintf("%d", sb.Traffic.MetadataBytes()/1024),
+			fmt.Sprintf("%.1f%%", 100*red),
+		})
+	}
+	var mean float64
+	for _, x := range reductions {
+		mean += x
+	}
+	mean /= float64(len(reductions))
+	table := stats.Table(header, rows)
+	return fmt.Sprintf("Security-metadata DRAM traffic\n%sMean reduction: %.1f%% (paper: 48.14%%, max 80.30%%)\n", table, 100*mean), nil
+}
+
+// Fig20 compares Plutus against Plutus with tree traffic eliminated.
+func Fig20(r *Runner) (string, error) {
+	return r.ipcTable("IPC normalized to no security: Plutus vs Plutus-without-tree-traffic",
+		[]secmem.Config{secmem.Baseline(pb(r)), secmem.Plutus(pb(r)), secmem.PlutusNoTree(pb(r))})
+}
+
+// Fig21 sweeps the value-cache size.
+func Fig21(r *Runner) (string, error) {
+	sizes := []int{64, 128, 256, 512, 1024}
+	base := secmem.Baseline(pb(r))
+	schemes := []secmem.Config{base}
+	for _, n := range sizes {
+		sc := secmem.PlutusValueOnly(pb(r))
+		sc.Scheme = fmt.Sprintf("vc-%d", n)
+		sc.Value.Entries = n
+		schemes = append(schemes, sc)
+	}
+	table, err := r.ipcTable("IPC normalized to no security, by value-cache entries", schemes)
+	if err != nil {
+		return "", err
+	}
+	// Also report the value-verified read fraction per size.
+	var lines []string
+	for i, n := range sizes {
+		var vv, mv uint64
+		for _, bench := range r.cfg.Benchmarks {
+			st, err := r.Run(bench, schemes[i+1])
+			if err != nil {
+				return "", err
+			}
+			vv += st.Sec.ValueVerified
+			mv += st.Sec.MACVerified
+		}
+		lines = append(lines, fmt.Sprintf("  %4d entries: %.1f%% of reads value-verified", n, 100*float64(vv)/float64(vv+mv)))
+	}
+	return table + "\n" + strings.Join(lines, "\n") + "\n", nil
+}
+
+// Fig22 reports normalized average power.
+func Fig22(r *Runner) (string, error) {
+	schemes := []secmem.Config{secmem.Baseline(pb(r)), secmem.PSSM(pb(r)), secmem.Plutus(pb(r))}
+	if err := r.runMatrix(schemes); err != nil {
+		return "", err
+	}
+	em := stats.DefaultEnergyModel()
+	header := []string{"benchmark", "pssm", "plutus"}
+	var rows [][]string
+	gms := make([][]float64, 2)
+	for _, bench := range r.cfg.Benchmarks {
+		base, err := r.Run(bench, schemes[0])
+		if err != nil {
+			return "", err
+		}
+		row := []string{bench}
+		// Energy per retired instruction: the run-length-independent
+		// measure of the security schemes' power cost (normalizing raw
+		// power would reward schemes merely for running longer at low
+		// activity).
+		perInst := func(st *stats.Stats) float64 {
+			return em.Energy(st).TotalRaw / float64(st.Instructions)
+		}
+		for i, sc := range schemes[1:] {
+			st, err := r.Run(bench, sc)
+			if err != nil {
+				return "", err
+			}
+			n := perInst(st) / perInst(base)
+			gms[i] = append(gms[i], n)
+			row = append(row, fmt.Sprintf("%.3f", n))
+		}
+		rows = append(rows, row)
+	}
+	rows = append(rows, []string{"geomean",
+		fmt.Sprintf("%.3f", stats.GeoMean(gms[0])),
+		fmt.Sprintf("%.3f", stats.GeoMean(gms[1]))})
+	return "Energy per instruction normalized to no security (paper's Fig. 22: PSSM 1.369 → Plutus 1.178 in power)\n" +
+		stats.Table(header, rows), nil
+}
+
+// Eq1Table prints the paper's §IV-C security analysis: the forgery
+// probability of value-based verification for candidate thresholds, and
+// the threshold actually required.
+func Eq1Table(r *Runner) (string, error) {
+	p := valcache.HitProbability(256, 4)
+	header := []string{"threshold x", "P(tampered block passes)", "vs 8B-MAC collision (2^-64)"}
+	var rows [][]string
+	for x := 1; x <= 4; x++ {
+		f := valcache.ForgeryProbability(4, x, p)
+		rows = append(rows, []string{
+			fmt.Sprintf("%d of 4", x),
+			fmt.Sprintf("%.3e", f),
+			fmt.Sprintf("%.1fx", f/5.421010862427522e-20),
+		})
+	}
+	min := valcache.MinHitsRequired(4, p, 1.0/256)
+	return fmt.Sprintf(
+		"Eq. 1 with K=256 entries, 28-bit keys (p=%.3e); minimum x for the 1/256 bound: %d; Plutus uses 3.\n%s",
+		p, min, stats.Table(header, rows)), nil
+}

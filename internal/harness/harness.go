@@ -1,0 +1,245 @@
+// Package harness reproduces the paper's evaluation: it owns the
+// experiment matrix (benchmark × security scheme), runs simulations in
+// parallel with result caching (many figures share the same underlying
+// runs), and formats each figure's table the way the paper reports it.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+
+	"github.com/plutus-gpu/plutus/internal/gpusim"
+	"github.com/plutus-gpu/plutus/internal/secmem"
+	"github.com/plutus-gpu/plutus/internal/stats"
+	"github.com/plutus-gpu/plutus/internal/workload"
+)
+
+// Config controls the experiment sweep.
+type Config struct {
+	// ProtectedBytes is the per-partition protected range (paper: 4 GiB
+	// over 32 partitions = 128 MiB per partition).
+	ProtectedBytes uint64
+	// MaxInstructions is the warp-instruction budget per run. The paper
+	// simulates 2 G instructions on GPGPU-Sim; the reproduction's default
+	// keeps full sweeps to minutes while preserving relative results.
+	MaxInstructions uint64
+	// Benchmarks lists the workloads to run (default: the full suite).
+	Benchmarks []string
+	// Parallelism bounds concurrent simulations (default: GOMAXPROCS).
+	Parallelism int
+	// FullVolta switches from the scaled 8-partition GPU to the paper's
+	// full 80-SM / 32-partition configuration (much slower).
+	FullVolta bool
+}
+
+// DefaultConfig returns the sweep configuration used by cmd/experiments.
+func DefaultConfig() Config {
+	return Config{
+		ProtectedBytes:  128 << 20,
+		MaxInstructions: 20000,
+		Benchmarks:      workload.Names(),
+		Parallelism:     runtime.GOMAXPROCS(0),
+	}
+}
+
+func (c *Config) normalize() {
+	d := DefaultConfig()
+	if c.ProtectedBytes == 0 {
+		c.ProtectedBytes = d.ProtectedBytes
+	}
+	if c.MaxInstructions == 0 {
+		c.MaxInstructions = d.MaxInstructions
+	}
+	if len(c.Benchmarks) == 0 {
+		c.Benchmarks = d.Benchmarks
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = d.Parallelism
+	}
+}
+
+// Runner executes and caches simulation runs.
+type Runner struct {
+	cfg Config
+
+	mu    sync.Mutex
+	cache map[string]*stats.Stats
+	sem   chan struct{}
+}
+
+// NewRunner builds a Runner (normalizing cfg in place).
+func NewRunner(cfg Config) *Runner {
+	cfg.normalize()
+	// Simulations allocate heavily in steady state; relaxing the GC
+	// target roughly halves wall time for full sweeps.
+	debug.SetGCPercent(600)
+	return &Runner{
+		cfg:   cfg,
+		cache: make(map[string]*stats.Stats),
+		sem:   make(chan struct{}, cfg.Parallelism),
+	}
+}
+
+// Config returns the runner's (normalized) sweep configuration.
+func (r *Runner) Config() Config { return r.cfg }
+
+func (r *Runner) key(bench string, sc secmem.Config) string {
+	return fmt.Sprintf("%s|%s|%d|%d", bench, sc.Scheme, r.cfg.MaxInstructions, sc.ProtectedBytes)
+}
+
+// Run simulates one (benchmark, scheme) pair, serving repeats from cache.
+func (r *Runner) Run(bench string, sc secmem.Config) (*stats.Stats, error) {
+	sc.ProtectedBytes = r.cfg.ProtectedBytes
+	k := r.key(bench, sc)
+	r.mu.Lock()
+	if st, ok := r.cache[k]; ok {
+		r.mu.Unlock()
+		return st, nil
+	}
+	r.mu.Unlock()
+
+	r.sem <- struct{}{}
+	defer func() { <-r.sem }()
+
+	// Re-check: another goroutine may have completed it meanwhile.
+	r.mu.Lock()
+	if st, ok := r.cache[k]; ok {
+		r.mu.Unlock()
+		return st, nil
+	}
+	r.mu.Unlock()
+
+	wl, err := workload.Get(bench)
+	if err != nil {
+		return nil, err
+	}
+	var gcfg gpusim.Config
+	if r.cfg.FullVolta {
+		gcfg = gpusim.DefaultVoltaConfig(sc)
+	} else {
+		gcfg = gpusim.ScaledConfig(sc)
+	}
+	gcfg.Sec.ProtectedBytes = r.cfg.ProtectedBytes
+	gcfg.MaxInstructions = r.cfg.MaxInstructions
+	g, err := gpusim.New(gcfg, wl)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s/%s: %w", bench, sc.Scheme, err)
+	}
+	st := g.Run()
+	if st.Sec.TamperDetected != 0 || st.Sec.ReplayDetected != 0 {
+		return nil, fmt.Errorf("harness: %s/%s: false security alarms: %+v", bench, sc.Scheme, st.Sec)
+	}
+
+	r.mu.Lock()
+	r.cache[k] = st
+	r.mu.Unlock()
+	return st, nil
+}
+
+// runMatrix warms the cache for every (benchmark, scheme) pair in
+// parallel and returns the first error.
+func (r *Runner) runMatrix(schemes []secmem.Config) error {
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(r.cfg.Benchmarks)*len(schemes))
+	for _, b := range r.cfg.Benchmarks {
+		for _, sc := range schemes {
+			wg.Add(1)
+			go func(b string, sc secmem.Config) {
+				defer wg.Done()
+				if _, err := r.Run(b, sc); err != nil {
+					errCh <- err
+				}
+			}(b, sc)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}
+
+// ipcTable renders normalized-IPC rows: one row per benchmark, one column
+// per scheme (normalized to the first scheme), plus a geometric-mean row.
+func (r *Runner) ipcTable(title string, schemes []secmem.Config) (string, error) {
+	if err := r.runMatrix(schemes); err != nil {
+		return "", err
+	}
+	header := []string{"benchmark"}
+	for _, sc := range schemes[1:] {
+		header = append(header, sc.Scheme)
+	}
+	var rows [][]string
+	gm := make([][]float64, len(schemes)-1)
+	for _, b := range r.cfg.Benchmarks {
+		base, err := r.Run(b, schemes[0])
+		if err != nil {
+			return "", err
+		}
+		row := []string{b}
+		for i, sc := range schemes[1:] {
+			st, err := r.Run(b, sc)
+			if err != nil {
+				return "", err
+			}
+			n := st.IPC() / base.IPC()
+			gm[i] = append(gm[i], n)
+			row = append(row, fmt.Sprintf("%.3f", n))
+		}
+		rows = append(rows, row)
+	}
+	gmRow := []string{"geomean"}
+	for i := range gm {
+		gmRow = append(gmRow, fmt.Sprintf("%.3f", stats.GeoMean(gm[i])))
+	}
+	rows = append(rows, gmRow)
+	return title + "\n" + stats.Table(header, rows), nil
+}
+
+// Speedup summarizes scheme b over scheme a: per-benchmark IPC ratios,
+// their geometric mean, and the max.
+type Speedup struct {
+	Mean, Max   float64
+	MaxBench    string
+	PerBench    map[string]float64
+	TrafficMean float64 // mean metadata-traffic ratio (b / a)
+}
+
+// CompareSchemes computes the headline speedup of b over a.
+func (r *Runner) CompareSchemes(a, b secmem.Config) (*Speedup, error) {
+	if err := r.runMatrix([]secmem.Config{a, b}); err != nil {
+		return nil, err
+	}
+	out := &Speedup{PerBench: make(map[string]float64), Max: 0}
+	var ratios, traffic []float64
+	for _, bench := range r.cfg.Benchmarks {
+		sa, err := r.Run(bench, a)
+		if err != nil {
+			return nil, err
+		}
+		sb, err := r.Run(bench, b)
+		if err != nil {
+			return nil, err
+		}
+		ratio := sb.IPC() / sa.IPC()
+		out.PerBench[bench] = ratio
+		ratios = append(ratios, ratio)
+		if ratio > out.Max {
+			out.Max, out.MaxBench = ratio, bench
+		}
+		if m := sa.Traffic.MetadataBytes(); m > 0 {
+			traffic = append(traffic, float64(sb.Traffic.MetadataBytes())/float64(m))
+		}
+	}
+	out.Mean = stats.GeoMean(ratios)
+	out.TrafficMean = stats.GeoMean(traffic)
+	return out, nil
+}
+
+// sortedBenchNames returns the runner's benchmarks sorted (stable tables).
+func (r *Runner) sortedBenchNames() []string {
+	out := append([]string(nil), r.cfg.Benchmarks...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,167 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/plutus-gpu/plutus/internal/secmem"
+)
+
+// tinyConfig keeps harness tests fast: two benchmarks, small budget.
+func tinyConfig() Config {
+	return Config{
+		ProtectedBytes:  128 << 20,
+		MaxInstructions: 3000,
+		Benchmarks:      []string{"bfs", "hotspot"},
+		Parallelism:     4,
+	}
+}
+
+func TestRunnerCaches(t *testing.T) {
+	r := NewRunner(tinyConfig())
+	a, err := r.Run("bfs", secmem.PSSM(128<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Run("bfs", secmem.PSSM(128<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("identical runs not served from cache")
+	}
+}
+
+func TestRunnerUnknownBenchmark(t *testing.T) {
+	r := NewRunner(tinyConfig())
+	if _, err := r.Run("nope", secmem.PSSM(128<<20)); err == nil {
+		t.Fatal("unknown benchmark did not error")
+	}
+}
+
+func TestFigureRegistryResolves(t *testing.T) {
+	figs := Figures()
+	if len(figs) != 13 {
+		t.Fatalf("expected 13 experiments, have %d", len(figs))
+	}
+	for _, f := range figs {
+		got, err := FigureByID(f.ID)
+		if err != nil || got.Title != f.Title {
+			t.Errorf("FigureByID(%q) broken: %v", f.ID, err)
+		}
+	}
+	if _, err := FigureByID("fig99"); err == nil {
+		t.Error("unknown figure id resolved")
+	}
+}
+
+func TestEq1TableIsSimulationFree(t *testing.T) {
+	r := NewRunner(tinyConfig())
+	out, err := Eq1Table(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Plutus uses 3") || !strings.Contains(out, "3 of 4") {
+		t.Errorf("Eq. 1 table missing expected content:\n%s", out)
+	}
+}
+
+func TestFig10Mix(t *testing.T) {
+	r := NewRunner(tinyConfig())
+	out, err := Fig10(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "bfs") || !strings.Contains(out, "read%") {
+		t.Errorf("Fig10 output malformed:\n%s", out)
+	}
+}
+
+func TestFig9ValueReuseOrdering(t *testing.T) {
+	// The masked scenario must pass at least as often as the unmasked
+	// 3-of-4, which must pass at least as often as all-8 (thresholds
+	// strictly relax left to right).
+	strict, err := valueReuseRate("bfs", 0, 4, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := valueReuseRate("bfs", 0, 3, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	masked, err := valueReuseRate("bfs", 4, 3, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose < strict {
+		t.Errorf("3-of-4 rate %.3f below all-8 rate %.3f", loose, strict)
+	}
+	if masked < loose-0.02 {
+		t.Errorf("masked rate %.3f below unmasked %.3f", masked, loose)
+	}
+	if loose == 0 {
+		t.Error("bfs should show nonzero value reuse")
+	}
+}
+
+func TestFig6EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	r := NewRunner(tinyConfig())
+	out, err := Fig6(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "geomean") || !strings.Contains(out, "pssm") {
+		t.Errorf("Fig6 output malformed:\n%s", out)
+	}
+	// PSSM must be below 1.0 (security costs performance).
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "geomean") {
+			fields := strings.Fields(line)
+			if len(fields) < 2 || !strings.HasPrefix(fields[1], "0.") {
+				t.Errorf("PSSM geomean should be < 1.0: %q", line)
+			}
+		}
+	}
+}
+
+func TestCompareSchemes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	r := NewRunner(tinyConfig())
+	sp, err := r.CompareSchemes(secmem.PSSM(128<<20), secmem.Plutus(128<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Mean <= 0 || sp.MaxBench == "" || len(sp.PerBench) != 2 {
+		t.Errorf("speedup malformed: %+v", sp)
+	}
+	if sp.TrafficMean >= 1 {
+		t.Errorf("Plutus should reduce metadata traffic: ratio %.3f", sp.TrafficMean)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRunner(tinyConfig())
+	var buf strings.Builder
+	if err := r.WriteCSV(&buf, []secmem.Config{secmem.Baseline(128 << 20), secmem.PSSM(128 << 20)}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// header + 2 benchmarks × 2 schemes
+	if len(lines) != 5 {
+		t.Fatalf("CSV has %d lines, want 5:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "benchmark,scheme,instructions") {
+		t.Errorf("bad CSV header: %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if got := strings.Count(l, ","); got != strings.Count(lines[0], ",") {
+			t.Errorf("ragged CSV row: %q", l)
+		}
+	}
+}

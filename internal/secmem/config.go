@@ -1,0 +1,300 @@
+// Package secmem implements the per-partition secure memory controller:
+// the functional and timing model of memory encryption, MAC-based
+// integrity, Bonsai-Merkle-Tree freshness, and the three Plutus
+// techniques layered on top (value-based integrity verification, compact
+// mirrored counters, and fine-granularity metadata blocks).
+//
+// One Engine serves one memory partition, as in PSSM: it owns the
+// partition's metadata caches, its value cache, its split-counter state,
+// its integrity trees, and its DRAM channel. The datapath is functionally
+// real — writebacks truly encrypt into a simulated DRAM image and reads
+// decrypt and verify it — so the security guarantees are testable, while
+// the timing side charges every metadata access to the shared DRAM
+// channel the way the paper's bandwidth analysis requires.
+package secmem
+
+import (
+	"fmt"
+
+	"github.com/plutus-gpu/plutus/internal/cache"
+	"github.com/plutus-gpu/plutus/internal/counters"
+	"github.com/plutus-gpu/plutus/internal/crypto/gcipher"
+	"github.com/plutus-gpu/plutus/internal/crypto/siphash"
+	"github.com/plutus-gpu/plutus/internal/geom"
+	"github.com/plutus-gpu/plutus/internal/sim"
+	"github.com/plutus-gpu/plutus/internal/valcache"
+)
+
+// Granularity selects the paper's §IV-E metadata-block design space.
+type Granularity int
+
+const (
+	// GranAll128 is the prior-work baseline: counters, MACs and BMT nodes
+	// all live in 128 B blocks; a counter miss fetches the whole block
+	// because the BMT hashes 128 B units.
+	GranAll128 Granularity = iota
+	// GranCtr32BMT128 shrinks counter units to 32 B but keeps 128 B
+	// (16-ary) BMT nodes: more leaves, flatter tree.
+	GranCtr32BMT128
+	// GranAll32 uses 32 B for everything: counter units and BMT nodes
+	// (4-ary), so every metadata fetch is a single DRAM transaction but
+	// the tree is taller. This is the design Plutus adopts.
+	GranAll32
+)
+
+// String names the design for reports.
+func (g Granularity) String() string {
+	switch g {
+	case GranAll128:
+		return "all-128B"
+	case GranCtr32BMT128:
+		return "ctr32-bmt128"
+	case GranAll32:
+		return "all-32B"
+	default:
+		return fmt.Sprintf("granularity(%d)", int(g))
+	}
+}
+
+// CounterUnitBytes returns the counter fetch/hash granularity.
+func (g Granularity) CounterUnitBytes() int {
+	if g == GranAll128 {
+		return 128
+	}
+	return 32
+}
+
+// BMTNodeBytes returns the tree-node block size.
+func (g Granularity) BMTNodeBytes() int {
+	if g == GranAll32 {
+		return 32
+	}
+	return 128
+}
+
+// Config describes one partition's secure-memory scheme.
+type Config struct {
+	// Scheme is the display name used in result tables.
+	Scheme string
+
+	// NoSecurity disables everything (the normalization baseline).
+	NoSecurity bool
+
+	// Encryption selects CME (PSSM baseline) or XTS (Plutus).
+	Encryption gcipher.Mode
+
+	// MACBytes is the per-sector MAC size: 4 in PSSM, 8 in Plutus.
+	MACBytes int
+
+	// Granularity is the metadata-block design (paper §IV-E).
+	Granularity Granularity
+
+	// Compact selects the compact mirrored-counter design (§IV-D).
+	Compact counters.CompactKind
+	// CompactThreshold is the adaptive disable threshold (0 = default 8).
+	CompactThreshold int
+
+	// ValueVerify enables value-based integrity verification (§IV-C).
+	ValueVerify bool
+	// Value configures the value cache (used when ValueVerify is set).
+	Value valcache.Config
+
+	// CommonCounters models Na et al. [18]: a 16 KiB-region on-chip
+	// write tracker; reads of never-written regions skip counter and
+	// tree traffic entirely.
+	CommonCounters bool
+	// CommonRegionBytes is the tracking granularity (default 16 KiB).
+	CommonRegionBytes int
+
+	// NoTreeTraffic eliminates all integrity-tree traffic, modelling the
+	// MGX/TNPU/softVN-style comparison of Fig. 20.
+	NoTreeTraffic bool
+
+	// EagerTreeUpdate propagates every counter update to the tree root
+	// immediately (paper §II-A3's "eager update scheme") instead of
+	// riding updates on cache evictions (the lazy scheme all evaluated
+	// configurations use). Exists for the lazy-vs-eager ablation.
+	EagerTreeUpdate bool
+
+	// ProtectedBytes is the partition's protected data capacity.
+	ProtectedBytes uint64
+
+	// MetaCacheBytes sizes each metadata cache (paper: 2 KiB each).
+	MetaCacheBytes int
+	// MetaCacheWays is the associativity (paper: 4).
+	MetaCacheWays int
+	// MetaMSHRs bounds outstanding metadata misses per cache.
+	MetaMSHRs int
+
+	// MACLatency is the MAC engine latency (paper Table II: 40 cycles).
+	MACLatency sim.Cycle
+	// AESLatency is the AES pipeline latency per sector.
+	AESLatency sim.Cycle
+
+	// Key seeds all cryptographic keys for the partition.
+	Key [32]byte
+}
+
+// Default latencies and sizes from the paper's Tables I/II.
+const (
+	DefaultMetaCacheBytes = 2048
+	DefaultMACLatency     = 40
+	DefaultAESLatency     = 30
+	DefaultRegionBytes    = 16 * 1024
+)
+
+// Normalize fills zero-valued fields with paper defaults and validates.
+func (c *Config) Normalize() error {
+	if c.MetaCacheBytes == 0 {
+		c.MetaCacheBytes = DefaultMetaCacheBytes
+	}
+	if c.MetaCacheWays == 0 {
+		c.MetaCacheWays = 4
+	}
+	if c.MetaMSHRs == 0 {
+		c.MetaMSHRs = 256
+	}
+	if c.MACLatency == 0 {
+		c.MACLatency = DefaultMACLatency
+	}
+	if c.AESLatency == 0 {
+		c.AESLatency = DefaultAESLatency
+	}
+	if c.CommonRegionBytes == 0 {
+		c.CommonRegionBytes = DefaultRegionBytes
+	}
+	if c.ProtectedBytes == 0 {
+		c.ProtectedBytes = 64 << 20
+	}
+	if c.MACBytes == 0 {
+		c.MACBytes = 8
+	}
+	if c.ValueVerify && c.Value.Entries == 0 {
+		c.Value = valcache.DefaultConfig()
+	}
+	if c.NoSecurity {
+		return nil
+	}
+	switch {
+	case c.MACBytes != 1 && c.MACBytes != 2 && c.MACBytes != 4 && c.MACBytes != 8:
+		return fmt.Errorf("secmem: MAC size %d B not a power of two ≤ 8", c.MACBytes)
+	case c.ProtectedBytes%uint64(geom.BlockSize) != 0:
+		return fmt.Errorf("secmem: protected size %d not block aligned", c.ProtectedBytes)
+	case c.ValueVerify && c.Encryption != gcipher.ModeXTS:
+		return fmt.Errorf("secmem: value verification requires XTS (malleability resistance); got %v", c.Encryption)
+	}
+	if c.ValueVerify {
+		if err := c.Value.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- canonical scheme configurations used across the evaluation ---
+
+// Baseline returns the no-security configuration.
+func Baseline(protected uint64) Config {
+	return Config{Scheme: "nosec", NoSecurity: true, ProtectedBytes: protected}
+}
+
+// PSSM returns the paper's baseline: CME, sectored split counters, 8 B
+// MACs (the paper upgrades PSSM's 4 B MAC to 8 B for its baseline),
+// 128 B metadata blocks, 16-ary BMT.
+func PSSM(protected uint64) Config {
+	return Config{
+		Scheme:         "pssm",
+		Encryption:     gcipher.ModeCME,
+		MACBytes:       8,
+		Granularity:    GranAll128,
+		ProtectedBytes: protected,
+	}
+}
+
+// PSSM4B returns PSSM with its original truncated 4 B MAC.
+func PSSM4B(protected uint64) Config {
+	c := PSSM(protected)
+	c.Scheme = "pssm-4Bmac"
+	c.MACBytes = 4
+	return c
+}
+
+// CommonCtr returns PSSM plus the common-counters tracker [18].
+func CommonCtr(protected uint64) Config {
+	c := PSSM(protected)
+	c.Scheme = "pssm+cc"
+	c.CommonCounters = true
+	return c
+}
+
+// PlutusValueOnly returns PSSM plus value verification only (Fig. 15).
+func PlutusValueOnly(protected uint64) Config {
+	c := PSSM(protected)
+	c.Scheme = "plutus-V"
+	c.Encryption = gcipher.ModeXTS
+	c.ValueVerify = true
+	c.Value = valcache.DefaultConfig()
+	return c
+}
+
+// PlutusFineGrain returns PSSM with a given metadata granularity (Fig. 16).
+func PlutusFineGrain(protected uint64, g Granularity) Config {
+	c := PSSM(protected)
+	c.Scheme = "plutus-G-" + g.String()
+	c.Granularity = g
+	return c
+}
+
+// PlutusCompact returns PSSM plus one compact-counter design (Fig. 17).
+func PlutusCompact(protected uint64, k counters.CompactKind) Config {
+	c := PSSM(protected)
+	c.Scheme = "plutus-C-" + k.String()
+	c.Compact = k
+	return c
+}
+
+// Plutus returns the full design: XTS, value verification, adaptive
+// compact counters, all-32 B metadata.
+func Plutus(protected uint64) Config {
+	return Config{
+		Scheme:         "plutus",
+		Encryption:     gcipher.ModeXTS,
+		MACBytes:       8,
+		Granularity:    GranAll32,
+		Compact:        counters.Compact3BitAdaptive,
+		ValueVerify:    true,
+		Value:          valcache.DefaultConfig(),
+		ProtectedBytes: protected,
+	}
+}
+
+// PlutusNoTree returns Plutus with integrity-tree traffic eliminated
+// (Fig. 20's MGX-style comparison).
+func PlutusNoTree(protected uint64) Config {
+	c := Plutus(protected)
+	c.Scheme = "plutus-notree"
+	c.NoTreeTraffic = true
+	return c
+}
+
+// keys derives the distinct engine keys from the config key material.
+func (c *Config) keys() (enc [32]byte, mac siphash.Key, tree siphash.Key) {
+	enc = c.Key
+	var mb, tb [16]byte
+	for i := 0; i < 16; i++ {
+		mb[i] = c.Key[i] ^ 0x5a
+		tb[i] = c.Key[16+i] ^ 0xa5
+	}
+	return enc, siphash.NewKey(mb), siphash.NewKey(tb)
+}
+
+// metaCache builds one metadata cache with the configured geometry.
+func (c *Config) metaCache(name string, blockBytes int) *cache.Cache {
+	return cache.MustNew(cache.Config{
+		Name:      name,
+		SizeBytes: c.MetaCacheBytes,
+		BlockSize: blockBytes,
+		Ways:      c.MetaCacheWays,
+		MSHRs:     c.MetaMSHRs,
+	})
+}

@@ -1,0 +1,655 @@
+package secmem
+
+import (
+	"fmt"
+
+	"github.com/plutus-gpu/plutus/internal/bmt"
+	"github.com/plutus-gpu/plutus/internal/cache"
+	"github.com/plutus-gpu/plutus/internal/counters"
+	"github.com/plutus-gpu/plutus/internal/geom"
+	"github.com/plutus-gpu/plutus/internal/stats"
+)
+
+// join is a completion barrier: run fires then once every registered arm
+// has completed. Arms may be added only before Seal.
+type join struct {
+	n      int
+	sealed bool
+	then   func()
+}
+
+func (j *join) arm() func() {
+	j.n++
+	return j.done
+}
+
+func (j *join) done() {
+	j.n--
+	if j.n == 0 && j.sealed {
+		j.then()
+	}
+}
+
+// seal marks arm registration complete; if everything already finished,
+// the continuation runs immediately.
+func (j *join) seal() {
+	j.sealed = true
+	if j.n == 0 {
+		j.then()
+	}
+}
+
+// ReadResult reports a completed secure read.
+type ReadResult struct {
+	// Data is the decrypted sector plaintext.
+	Data []byte
+	// OK is false when integrity or freshness verification failed.
+	OK bool
+	// ValueVerified is true when the sector was authenticated by the
+	// value cache alone.
+	ValueVerified bool
+}
+
+// Pending returns the number of in-flight requests (for drain loops).
+func (e *Engine) Pending() int { return e.pending }
+
+// Read performs a secure read of the 32 B sector at partition-local
+// address local, invoking done with the plaintext when all security
+// checks complete.
+func (e *Engine) Read(local geom.Addr, done func(ReadResult)) {
+	local = geom.SectorAddr(local)
+	e.pending++
+	finish := func(r ReadResult) {
+		e.pending--
+		if done != nil {
+			done(r)
+		}
+	}
+
+	if e.cfg.NoSecurity {
+		e.ch.Access(local, false, stats.Data, func() {
+			finish(ReadResult{Data: e.plaintextOf(local), OK: true})
+		})
+		return
+	}
+
+	freshOK := true
+	j := &join{}
+	j.then = func() {
+		// Data and counters have arrived; decrypt, then verify.
+		e.eng.Schedule(e.cfg.AESLatency, func() {
+			e.completeRead(local, freshOK, finish)
+		})
+	}
+	// Demand data fetch.
+	e.ch.Access(local, false, stats.Data, j.arm())
+	// Counter acquisition (may be free, cached, or multiple fetches).
+	e.acquireCounter(local, j, &freshOK)
+	j.seal()
+}
+
+// completeRead runs the post-decrypt verification stage.
+func (e *Engine) completeRead(local geom.Addr, freshOK bool, finish func(ReadResult)) {
+	i := e.sectorIdx(local)
+	pt := e.plaintextOf(local)
+
+	if !freshOK {
+		// Counter verification already failed: replay detected.
+		e.st.Sec.ReplayDetected++
+		finish(ReadResult{Data: pt, OK: false})
+		return
+	}
+
+	if e.vcache != nil {
+		res := e.vcache.VerifySector(pt)
+		if res.Verified {
+			e.st.Sec.ValueVerified++
+			e.vcache.ObserveSector(pt)
+			finish(ReadResult{Data: pt, OK: true, ValueVerified: true})
+			return
+		}
+	}
+
+	// Fall back to conventional MAC verification. The verification
+	// outcome is determined by the sector's state as of decrypt time (a
+	// concurrent writeback committing while the MAC block is in flight
+	// must not affect this read's result), so snapshot it now; the fetch
+	// and MAC-engine latency that follow are purely timing.
+	stale := e.macStale[i]
+	mismatch := !stale && e.currentMAC(local) != e.macs[i]
+	e.fetchMeta(e.macCache, e.macAddrOf(i), e.macCache.MaskFor(e.macAddrOf(i)), stats.MAC, func() {
+		e.eng.Schedule(e.cfg.MACLatency, func() {
+			e.st.Sec.MACVerified++
+			ok := true
+			if stale {
+				// A write-guarantee sector should always value-verify;
+				// reaching the MAC path with a stale MAC means either the
+				// guarantee logic is unsound or an attacker interfered.
+				ok = false
+				e.st.Sec.TamperDetected++
+				if debugGuarantee != nil {
+					debugGuarantee(e, local, pt)
+				}
+			} else if mismatch {
+				ok = false
+				e.st.Sec.TamperDetected++
+			}
+			if e.vcache != nil {
+				e.vcache.ObserveSector(pt)
+			}
+			finish(ReadResult{Data: pt, OK: ok})
+		})
+	})
+}
+
+// Writeback performs a secure write of a dirty 32 B sector (an L2
+// eviction). done (nullable) fires when the data transaction completes.
+func (e *Engine) Writeback(local geom.Addr, data []byte, done func()) {
+	local = geom.SectorAddr(local)
+	if len(data) != geom.SectorSize {
+		panic(fmt.Sprintf("secmem: writeback of %d bytes", len(data)))
+	}
+	e.pending++
+	finish := func() {
+		e.pending--
+		if done != nil {
+			done()
+		}
+	}
+
+	if e.cfg.NoSecurity {
+		pt := make([]byte, geom.SectorSize)
+		copy(pt, data)
+		e.mem[local] = pt
+		e.ch.Access(local, true, stats.Data, func() { finish() })
+		return
+	}
+
+	// The first write to a region ends its common-counter (all-zero) era.
+	if e.cfg.CommonCounters {
+		e.regionWritten[e.regionOf(local)] = true
+	}
+
+	pt := make([]byte, geom.SectorSize)
+	copy(pt, data)
+
+	freshOK := true
+	j := &join{}
+	j.then = func() {
+		e.commitWrite(local, pt, finish)
+	}
+	// The counter must be on-chip (and verified) before it is bumped.
+	e.acquireCounter(local, j, &freshOK)
+	j.seal()
+}
+
+// commitWrite runs once the counter is available: bump it, update trees
+// and MAC, encrypt and write the data.
+func (e *Engine) commitWrite(local geom.Addr, pt []byte, finish func()) {
+	i := e.sectorIdx(local)
+
+	e.bumpCounter(local)
+	ct := e.storeCiphertext(local, pt)
+	_ = ct
+
+	if e.compact == nil {
+		e.dirtyOriginalCounter(i)
+	} else {
+		// While a write is absorbed by the compact layer, the original
+		// counters and main BMT stay untouched in memory — that is the
+		// whole bandwidth saving. The original copy is written only when
+		// a counter saturates (propagation), when the block is disabled,
+		// or once the sector runs on original counters.
+		out, justDisabled := e.compact.NoteWrite(i)
+		sat := e.compact.Saturation()
+		justSaturated := e.split.Minor(i) == sat && e.split.Major(e.split.GroupOf(i)) == 0
+		if out == counters.ServedCompact || justSaturated {
+			// The compact value changed: dirty the compact sector and
+			// update the small tree.
+			cca := e.cctrSectorAddr(i)
+			e.handleEvictions(e.cctrCache.Insert(cca, e.cctrCache.MaskFor(cca), true), stats.CompactCounter, false)
+			e.ctree.SetUnitHash(e.cctrUnitOf(i), e.compactUnitHash(e.cctrUnitOf(i)))
+		}
+		if out != counters.ServedCompact {
+			// Saturated or disabled: this write lives in the originals.
+			e.dirtyOriginalCounter(i)
+		}
+		if justDisabled {
+			// One-time copy of the block's surviving compact counters to
+			// the original store: two original counter sectors written
+			// (paper §IV-D; 2× compaction), and the main tree now covers
+			// the propagated values.
+			e.ch.Access(e.ctrUnitAddr(e.ctrUnitOf(i)), true, stats.Counter, nil)
+			e.ch.Access(e.ctrUnitAddr(e.ctrUnitOf(i))+geom.SectorSize, true, stats.Counter, nil)
+			e.refreshDisabledBlockHashes(i)
+		}
+	}
+
+	// Value bookkeeping and the deferred-MAC decision.
+	skipMAC := false
+	if e.vcache != nil {
+		e.vcache.ObserveSector(pt)
+		if e.vcache.WriteGuaranteed(pt) {
+			skipMAC = true
+		}
+	}
+	if skipMAC {
+		e.st.Sec.MACSkippedWrites++
+		e.macStale[i] = true
+	} else {
+		e.st.Sec.MACWrites++
+		e.macs[i] = e.currentMAC(local)
+		delete(e.macStale, i)
+		ma := e.macAddrOf(i)
+		e.handleEvictions(e.macCache.Insert(ma, e.macCache.MaskFor(ma), true), stats.MAC, false)
+	}
+
+	// Encrypt latency then the data write transaction.
+	e.eng.Schedule(e.cfg.AESLatency, func() {
+		e.ch.Access(local, true, stats.Data, func() { finish() })
+	})
+}
+
+// dirtyOriginalCounter marks sector i's original counter sector dirty
+// and refreshes the main tree's hash of its unit. Under the eager-update
+// scheme the whole path to the root is written back immediately instead
+// of waiting for evictions.
+func (e *Engine) dirtyOriginalCounter(i uint64) {
+	ca := e.ctrSectorAddr(i)
+	e.handleEvictions(e.ctrCache.Insert(ca, e.ctrCache.MaskFor(ca), true), stats.Counter, false)
+	u := e.ctrUnitOf(i)
+	e.tree.SetUnitHash(u, e.counterUnitHash(u))
+	if e.cfg.EagerTreeUpdate && !e.cfg.NoTreeTraffic {
+		e.eagerWritePath(e.tree, e.lay.bmtBase, u, stats.BMT)
+	}
+}
+
+// eagerWritePath charges one write per non-root tree node on unit u's
+// path — the eager scheme's cost: every counter update rewrites its
+// entire verification chain in memory.
+func (e *Engine) eagerWritePath(t *bmt.Tree, base geom.Addr, u uint64, cl stats.Class) {
+	for _, ref := range t.Path(u) {
+		if t.IsRoot(ref) {
+			break
+		}
+		e.ch.Access(geom.SectorAddr(base+t.NodeAddr(ref)), true, cl, nil)
+	}
+}
+
+// refreshDisabledBlockHashes re-hashes every main-tree unit covering a
+// just-disabled compact block: the disable event propagated the block's
+// surviving compact counters to the original copy.
+func (e *Engine) refreshDisabledBlockHashes(i uint64) {
+	per := uint64(e.cfg.Compact.CountersPerSector())
+	blockSectors := 4 * per // one compact block covers 4 compact sectors
+	start := i / blockSectors * blockSectors
+	seen := map[uint64]bool{}
+	for s := start; s < start+blockSectors && s < e.lay.dataSectors; s += uint64(e.split.Config().GroupSize) {
+		u := e.ctrUnitOf(s)
+		if !seen[u] {
+			seen[u] = true
+			e.tree.SetUnitHash(u, e.counterUnitHash(u))
+		}
+	}
+}
+
+// bumpCounter increments sector local's counter, capturing group
+// plaintexts first so a minor overflow can re-encrypt them.
+func (e *Engine) bumpCounter(local geom.Addr) {
+	i := e.sectorIdx(local)
+	willOverflow := e.split.Minor(i) == uint32(1)<<uint(e.split.Config().MinorBits)-1
+	if willOverflow {
+		clear(e.overflowPlain)
+		g := e.split.GroupOf(i)
+		base := g * uint64(e.split.Config().GroupSize)
+		for k := 0; k < e.split.Config().GroupSize; k++ {
+			sa := geom.Addr((base + uint64(k)) * geom.SectorSize)
+			if _, ok := e.mem[sa]; ok {
+				e.overflowPlain[sa] = e.plaintextOf(sa)
+			}
+		}
+	}
+	e.split.Increment(i)
+}
+
+// --- counter acquisition ---
+
+// ctrFetchMask is the sector mask for a counter-unit fetch: the whole
+// 128 B block for GranAll128, a single 32 B sector otherwise.
+func (e *Engine) ctrFetchMask(unitAddr geom.Addr) geom.SectorMask {
+	if e.cfg.Granularity.CounterUnitBytes() == geom.BlockSize {
+		return geom.AllSectors
+	}
+	return e.ctrCache.MaskFor(unitAddr)
+}
+
+func (e *Engine) cctrFetchMask(unitAddr geom.Addr) geom.SectorMask {
+	if e.cfg.Granularity.CounterUnitBytes() == geom.BlockSize {
+		return geom.AllSectors
+	}
+	return e.cctrCache.MaskFor(unitAddr)
+}
+
+// acquireCounter arranges for sector local's encryption counter to be
+// on-chip and verified, joining all resulting memory activity onto j.
+// freshOK is cleared if counter verification fails (replay detection).
+func (e *Engine) acquireCounter(local geom.Addr, j *join, freshOK *bool) {
+	i := e.sectorIdx(local)
+
+	// Common-counters fast path: a never-written region has all-zero
+	// counters known on-chip; no counter or tree traffic at all.
+	if e.cfg.CommonCounters && !e.regionWritten[e.regionOf(local)] {
+		return
+	}
+
+	if e.compact != nil {
+		switch e.compact.Classify(i) {
+		case counters.ServedCompact:
+			e.st.Sec.CompactHits++
+			e.fetchCompactUnit(i, j, freshOK)
+			return
+		case counters.ServedOverflowed:
+			e.st.Sec.CompactOverflow++
+			// Serial: discover saturation in the compact layer, then go
+			// to the original counters (the paper's double access).
+			inner := j.arm()
+			cj := &join{}
+			cj.then = func() {
+				oj := &join{then: inner}
+				e.fetchCounterUnit(i, oj, freshOK)
+				oj.seal()
+			}
+			e.fetchCompactUnit(i, cj, freshOK)
+			cj.seal()
+			return
+		default: // counters.ServedDisabled
+			e.st.Sec.CompactDisabled++
+		}
+	}
+	e.fetchCounterUnit(i, j, freshOK)
+}
+
+// fetchCounterUnit brings sector i's original counter unit on-chip,
+// verifying it through the BMT.
+func (e *Engine) fetchCounterUnit(i uint64, j *join, freshOK *bool) {
+	u := e.ctrUnitOf(i)
+	ua := e.ctrUnitAddr(u)
+	mask := e.ctrFetchMask(ua)
+
+	before := e.ctrCache.Probe(ua) & mask
+	e.fetchMetaJoin(e.ctrCache, ua, mask, stats.Counter, j)
+	if before == mask {
+		return // cache hit: already verified when it was filled
+	}
+	// Miss path: the fetched unit must be verified against the tree.
+	if !e.tree.VerifyUnit(u, e.counterUnitHash(u)) {
+		*freshOK = false
+	}
+	if !e.cfg.NoTreeTraffic {
+		e.walkTree(e.tree, e.bmtCache, e.lay.bmtBase, u, stats.BMT, j)
+	}
+}
+
+// fetchCompactUnit brings sector i's compact counter unit on-chip,
+// verifying it through the compact tree.
+func (e *Engine) fetchCompactUnit(i uint64, j *join, freshOK *bool) {
+	u := e.cctrUnitOf(i)
+	ua := e.cctrUnitAddr(u)
+	mask := e.cctrFetchMask(ua)
+
+	before := e.cctrCache.Probe(ua) & mask
+	e.fetchMetaJoin(e.cctrCache, ua, mask, stats.CompactCounter, j)
+	if before == mask {
+		return
+	}
+	if !e.ctree.VerifyUnit(u, e.compactUnitHash(u)) {
+		*freshOK = false
+	}
+	if !e.cfg.NoTreeTraffic {
+		e.walkTree(e.ctree, e.cbmtCache, e.lay.cbmtBase, u, stats.CompactBMT, j)
+	}
+}
+
+// walkTree performs the verification walk for counter unit u: fetch tree
+// nodes bottom-up until one hits in the (verified) metadata cache or the
+// on-chip root is reached.
+func (e *Engine) walkTree(t *bmt.Tree, mc *cache.Cache, base geom.Addr, u uint64, cl stats.Class, j *join) {
+	for _, ref := range t.Path(u) {
+		if t.IsRoot(ref) {
+			break // root is on-chip: free and always trusted
+		}
+		na := base + t.NodeAddr(ref)
+		nodeMask := e.nodeFetchMask(mc, na)
+		if mc.Probe(na)&nodeMask == nodeMask {
+			mc.Lookup(na, nodeMask, false, nil) // LRU touch
+			break                               // verified boundary reached
+		}
+		e.st.Sec.BMTNodeVerifies++
+		e.fetchMetaJoin(mc, na, nodeMask, cl, j)
+	}
+}
+
+// nodeFetchMask is the sector mask of one tree-node fetch.
+func (e *Engine) nodeFetchMask(mc *cache.Cache, nodeAddr geom.Addr) geom.SectorMask {
+	if e.cfg.Granularity.BMTNodeBytes() == geom.BlockSize {
+		return geom.AllSectors
+	}
+	return mc.MaskFor(nodeAddr)
+}
+
+// fetchMetaJoin fetches (addr, mask) through metadata cache mc, arming j
+// with the completion.
+func (e *Engine) fetchMetaJoin(mc *cache.Cache, addr geom.Addr, mask geom.SectorMask, cl stats.Class, j *join) {
+	e.fetchMeta2(mc, addr, mask, cl, j.arm())
+}
+
+// fetchMeta fetches (addr, mask) through mc and runs done when the
+// requested sectors are present.
+func (e *Engine) fetchMeta(mc *cache.Cache, addr geom.Addr, mask geom.SectorMask, cl stats.Class, done func()) {
+	e.fetchMeta2(mc, addr, mask, cl, done)
+}
+
+func (e *Engine) fetchMeta2(mc *cache.Cache, addr geom.Addr, mask geom.SectorMask, cl stats.Class, done func()) {
+	out, need, m := mc.Lookup(addr, mask, false, nil)
+	switch out {
+	case cache.Hit:
+		e.eng.Schedule(0, done)
+	case cache.MissMerged:
+		m.AddWaiter(done)
+	case cache.Miss:
+		m.AddWaiter(done)
+		e.issueMetaFill(mc, m, addr, need, cl)
+	case cache.MissNoMSHR:
+		// Park until some fill frees an MSHR (models MSHR-full stall
+		// without polling).
+		e.mshrWait = append(e.mshrWait, func() { e.fetchMeta2(mc, addr, mask, cl, done) })
+	}
+}
+
+// issueMetaFill issues DRAM reads for the needed sectors, filling the
+// cache as each lands; waiters resume when the MSHR completes.
+func (e *Engine) issueMetaFill(mc *cache.Cache, m *cache.MSHR, addr geom.Addr, need geom.SectorMask, cl stats.Class) {
+	block := addr &^ geom.Addr(geom.BlockSize-1)
+	isTree := mc == e.bmtCache || mc == e.cbmtCache
+	need.Sectors(func(s int) {
+		sa := block + geom.Addr(s*geom.SectorSize)
+		smask := geom.SectorMask(1 << s)
+		e.ch.Access(sa, false, cl, func() {
+			evs, done, waiters := mc.FillSectors(m, smask, false)
+			e.handleEvictions(evs, cl, isTree)
+			if done {
+				for _, w := range waiters {
+					w()
+				}
+				e.releaseMSHRWaiters()
+			}
+		})
+	})
+}
+
+// handleEvictions writes back dirty sectors of evicted metadata blocks
+// and, for counter/tree blocks under lazy update, propagates the update
+// to the parent tree node.
+func (e *Engine) handleEvictions(evs []cache.Eviction, cl stats.Class, isTreeCache bool) {
+	for _, ev := range evs {
+		if ev.Dirty == 0 {
+			continue
+		}
+		ev.Dirty.Sectors(func(s int) {
+			e.ch.Access(ev.Addr+geom.Addr(s*geom.SectorSize), true, cl, nil)
+		})
+		switch cl {
+		case stats.Counter:
+			e.propagateDirty(e.tree, e.bmtCache, e.lay.bmtBase, e.unitOfCtrAddr(ev.Addr), stats.BMT)
+		case stats.CompactCounter:
+			e.propagateDirty(e.ctree, e.cbmtCache, e.lay.cbmtBase, e.unitOfCctrAddr(ev.Addr), stats.CompactBMT)
+		case stats.BMT:
+			if isTreeCache {
+				e.propagateNodeDirty(e.tree, e.bmtCache, e.lay.bmtBase, ev.Addr, stats.BMT)
+			}
+		case stats.CompactBMT:
+			if isTreeCache {
+				e.propagateNodeDirty(e.ctree, e.cbmtCache, e.lay.cbmtBase, ev.Addr, stats.CompactBMT)
+			}
+		}
+	}
+}
+
+// unitOfCtrAddr maps a counter-region local address back to a unit index.
+func (e *Engine) unitOfCtrAddr(a geom.Addr) uint64 {
+	return uint64(a-e.lay.ctrBase) / uint64(e.cfg.Granularity.CounterUnitBytes())
+}
+
+func (e *Engine) unitOfCctrAddr(a geom.Addr) uint64 {
+	return uint64(a-e.lay.cctrBase) / uint64(e.cfg.Granularity.CounterUnitBytes())
+}
+
+// propagateDirty marks unit u's level-0 parent node dirty in the tree
+// cache (the lazy-update scheme: a dirty counter writeback makes its
+// parent hash stale in memory until that node is itself written back).
+func (e *Engine) propagateDirty(t *bmt.Tree, mc *cache.Cache, base geom.Addr, u uint64, cl stats.Class) {
+	if e.cfg.NoTreeTraffic || e.cfg.EagerTreeUpdate {
+		// Eager mode already wrote the whole path at update time.
+		return
+	}
+	path := t.Path(u)
+	if len(path) == 0 || t.IsRoot(path[0]) {
+		return
+	}
+	// Only the parent's 32 B sector holding this child's hash changes.
+	slot := u % uint64(t.Config().Arity())
+	na := base + t.NodeAddr(path[0]) + geom.Addr(slot*bmt.HashBytes/geom.SectorSize*geom.SectorSize)
+	e.markNodeDirty(mc, na, cl)
+}
+
+// markNodeDirty dirties one tree-node sector in its cache. An absent
+// sector is fetched through the cache first (read-modify-write), so
+// concurrent propagations to the same node merge in the MSHRs instead of
+// each paying a DRAM read.
+func (e *Engine) markNodeDirty(mc *cache.Cache, na geom.Addr, cl stats.Class) {
+	mask := mc.MaskFor(na)
+	if mc.MarkDirty(na, mask) {
+		return
+	}
+	e.fetchMeta2(mc, na, mask, cl, func() {
+		if !mc.MarkDirty(na, mask) {
+			// Filled and already evicted again (cache thrash): charge the
+			// update write directly rather than loop.
+			e.ch.Access(geom.SectorAddr(na), true, cl, nil)
+		}
+	})
+}
+
+// propagateNodeDirty handles a dirty tree-node eviction: its parent node
+// becomes dirty in turn (cascading toward the root, which absorbs the
+// final update on-chip for free).
+func (e *Engine) propagateNodeDirty(t *bmt.Tree, mc *cache.Cache, base geom.Addr, nodeAddr geom.Addr, cl stats.Class) {
+	if nodeAddr < base {
+		return
+	}
+	ref, ok := t.RefForAddr(nodeAddr - base)
+	if !ok {
+		return
+	}
+	parent, ok := t.Parent(ref)
+	if !ok || t.IsRoot(parent) {
+		return
+	}
+	slot := ref.Index % uint64(t.Config().Arity())
+	na := base + t.NodeAddr(parent) + geom.Addr(slot*bmt.HashBytes/geom.SectorSize*geom.SectorSize)
+	e.markNodeDirty(mc, na, cl)
+}
+
+// --- tamper-injection API (tests and the tamperdetect example) ---
+
+// TamperData flips one bit of sector local's stored ciphertext, modelling
+// a physical attack on the memory module.
+func (e *Engine) TamperData(local geom.Addr, bit uint) {
+	local = geom.SectorAddr(local)
+	ct := e.materialize(local)
+	ct[bit/8%geom.SectorSize] ^= 1 << (bit % 8)
+}
+
+// TamperMAC corrupts sector local's stored MAC.
+func (e *Engine) TamperMAC(local geom.Addr) {
+	i := e.sectorIdx(geom.SectorAddr(local))
+	e.materialize(local)
+	e.macs[i] ^= 1
+}
+
+// ReplayCounter models an attacker substituting an old counter value for
+// sector local's counter unit in memory: the unit's recomputed hash no
+// longer matches the tree.
+func (e *Engine) ReplayCounter(local geom.Addr) {
+	i := e.sectorIdx(geom.SectorAddr(local))
+	e.ctrTampered[e.ctrUnitOf(i)] = true
+	// Evict the unit so the next access must refetch and verify it.
+	e.ctrCache.Invalidate(e.ctrUnitAddr(e.ctrUnitOf(i)))
+}
+
+// FlushDirtyMetadata writes back all dirty metadata (end-of-run
+// accounting so lazy updates are not silently dropped).
+func (e *Engine) FlushDirtyMetadata() {
+	flush := func(mc *cache.Cache, cl stats.Class) {
+		if mc == nil {
+			return
+		}
+		mc.WalkDirty(func(b geom.Addr, d geom.SectorMask) {
+			d.Sectors(func(s int) {
+				e.ch.Access(b+geom.Addr(s*geom.SectorSize), true, cl, nil)
+			})
+			mc.CleanSectors(b, d)
+		})
+	}
+	flush(e.ctrCache, stats.Counter)
+	flush(e.macCache, stats.MAC)
+	flush(e.bmtCache, stats.BMT)
+	flush(e.cctrCache, stats.CompactCounter)
+	flush(e.cbmtCache, stats.CompactBMT)
+}
+
+// debugGuarantee, when non-nil, is invoked on a stale-MAC read (test
+// diagnostics for the write-guarantee invariant).
+var debugGuarantee func(e *Engine, local geom.Addr, pt []byte)
+
+// SetDebugGuarantee installs a diagnostic hook that fires on stale-MAC
+// reads with a description of the sector's verification state.
+func SetDebugGuarantee(fn func(info string)) {
+	if fn == nil {
+		debugGuarantee = nil
+		return
+	}
+	debugGuarantee = func(e *Engine, local geom.Addr, pt []byte) {
+		res := e.vcache.VerifySector(pt)
+		var detail string
+		for off := 0; off < len(pt); off += 16 {
+			for k := 0; k < 4; k++ {
+				v := uint32(pt[off+k*4]) | uint32(pt[off+k*4+1])<<8 | uint32(pt[off+k*4+2])<<16 | uint32(pt[off+k*4+3])<<24
+				hit, pinned := e.vcache.Probe(v)
+				detail += fmt.Sprintf(" v=%08x hit=%v pin=%v;", v, hit, pinned)
+			}
+			detail += " |"
+		}
+		fn(fmt.Sprintf("stale-MAC read local=%#x verified=%v hits=%d:%s", local, res.Verified, res.Hits, detail))
+	}
+}

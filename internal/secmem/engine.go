@@ -1,0 +1,487 @@
+package secmem
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/plutus-gpu/plutus/internal/bmt"
+	"github.com/plutus-gpu/plutus/internal/cache"
+	"github.com/plutus-gpu/plutus/internal/counters"
+	"github.com/plutus-gpu/plutus/internal/crypto/gcipher"
+	"github.com/plutus-gpu/plutus/internal/crypto/siphash"
+	"github.com/plutus-gpu/plutus/internal/dram"
+	"github.com/plutus-gpu/plutus/internal/geom"
+	"github.com/plutus-gpu/plutus/internal/sim"
+	"github.com/plutus-gpu/plutus/internal/stats"
+	"github.com/plutus-gpu/plutus/internal/valcache"
+)
+
+// layout places the partition's metadata regions in its local address
+// space, after the data region. Bases only influence DRAM bank/row
+// mapping; regions never overlap.
+type layout struct {
+	dataSectors uint64
+	ctrBase     geom.Addr
+	ctrBytes    uint64
+	macBase     geom.Addr
+	macBytes    uint64
+	bmtBase     geom.Addr
+	cctrBase    geom.Addr
+	cctrBytes   uint64
+	cbmtBase    geom.Addr
+}
+
+// Engine is one partition's secure memory controller.
+type Engine struct {
+	cfg Config
+	eng *sim.Engine
+	ch  *dram.Channel
+	st  *stats.Stats
+
+	enc     *gcipher.Engine
+	macKey  siphash.Key
+	treeKey siphash.Key
+
+	split   *counters.SplitStore
+	compact *counters.CompactView
+	tree    *bmt.Tree // over the original counters
+	ctree   *bmt.Tree // over the compact counters
+
+	ctrCache  *cache.Cache
+	macCache  *cache.Cache
+	bmtCache  *cache.Cache
+	cctrCache *cache.Cache
+	cbmtCache *cache.Cache
+	vcache    *valcache.Cache
+
+	lay layout
+
+	// Functional DRAM image: local sector address → 32 B ciphertext
+	// (plaintext when NoSecurity).
+	mem map[geom.Addr][]byte
+	// macs holds the DRAM copy of each data sector's truncated MAC.
+	macs map[uint64]uint64
+	// macStale marks sectors whose DRAM MAC was deliberately not updated
+	// because the write carried the value-verification guarantee.
+	macStale map[uint64]bool
+	// ctrTampered marks counter units whose DRAM copy an attacker altered
+	// or replayed (test hook): their recomputed hash is perturbed.
+	ctrTampered map[uint64]bool
+	// regionWritten is the common-counters on-chip write tracker.
+	regionWritten map[uint64]bool
+
+	// InitData supplies the initial plaintext of a never-written sector
+	// (workload-defined memory contents). Nil means zero-filled.
+	InitData func(local geom.Addr) []byte
+
+	// overflowPlain carries group plaintexts captured just before a
+	// counter overflow resets the minors (see bumpCounter).
+	overflowPlain map[geom.Addr][]byte
+
+	// mshrWait queues metadata fetches blocked on a full MSHR file.
+	mshrWait []func()
+
+	// hashScratch is the reusable serialization buffer for unit hashing
+	// (the hottest per-write path).
+	hashScratch []byte
+
+	// pending tracks outstanding requests for drain logic.
+	pending int
+}
+
+// releaseMSHRWaiters wakes a bounded batch of metadata fetches parked on
+// MSHR exhaustion (each fill frees one entry; waking the whole queue
+// would only re-park it).
+func (e *Engine) releaseMSHRWaiters() {
+	n := len(e.mshrWait)
+	if n > 8 {
+		n = 8
+	}
+	if n == 0 {
+		return
+	}
+	q := e.mshrWait[:n]
+	e.mshrWait = append(e.mshrWait[:0:0], e.mshrWait[n:]...)
+	for _, fn := range q {
+		e.eng.Schedule(1, fn)
+	}
+}
+
+// New builds a partition engine on eng, with its DRAM channel ch and
+// statistics sink st.
+func New(cfg Config, eng *sim.Engine, ch *dram.Channel, st *stats.Stats) (*Engine, error) {
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:           cfg,
+		eng:           eng,
+		ch:            ch,
+		st:            st,
+		mem:           make(map[geom.Addr][]byte),
+		macs:          make(map[uint64]uint64),
+		macStale:      make(map[uint64]bool),
+		ctrTampered:   make(map[uint64]bool),
+		regionWritten: make(map[uint64]bool),
+		overflowPlain: make(map[geom.Addr][]byte),
+	}
+	if cfg.NoSecurity {
+		return e, nil
+	}
+
+	encKey, macKey, treeKey := cfg.keys()
+	var err error
+	e.enc, err = gcipher.NewEngine(cfg.Encryption, encKey)
+	if err != nil {
+		return nil, err
+	}
+	e.macKey, e.treeKey = macKey, treeKey
+
+	e.split = counters.MustSplitStore(counters.DefaultSplitConfig())
+	e.split.OnOverflow = e.onCounterOverflow
+
+	e.lay = computeLayout(cfg)
+
+	unitBytes := cfg.Granularity.CounterUnitBytes()
+	nodeBytes := cfg.Granularity.BMTNodeBytes()
+	units := e.lay.ctrBytes / uint64(unitBytes)
+	if units == 0 {
+		units = 1
+	}
+	e.tree = bmt.MustNew(bmt.Config{
+		Units: units, UnitBytes: unitBytes, NodeBytes: nodeBytes, Key: treeKey,
+	}, e.freshUnitHash(0))
+
+	e.ctrCache = cfg.metaCache("ctr", geom.BlockSize)
+	e.macCache = cfg.metaCache("mac", geom.BlockSize)
+	e.bmtCache = cfg.metaCache("bmt", geom.BlockSize)
+
+	if cfg.Compact != counters.CompactOff {
+		e.compact, err = counters.NewCompactView(cfg.Compact, e.split, cfg.CompactThreshold)
+		if err != nil {
+			return nil, err
+		}
+		cunits := e.lay.cctrBytes / uint64(unitBytes)
+		if cunits == 0 {
+			cunits = 1
+		}
+		e.ctree = bmt.MustNew(bmt.Config{
+			Units: cunits, UnitBytes: unitBytes, NodeBytes: nodeBytes, Key: treeKey,
+		}, e.freshCompactUnitHash(0))
+		e.cctrCache = cfg.metaCache("cctr", geom.BlockSize)
+		e.cbmtCache = cfg.metaCache("cbmt", geom.BlockSize)
+	}
+
+	if cfg.ValueVerify {
+		e.vcache, err = valcache.New(cfg.Value)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// MustNew is New for static configuration.
+func MustNew(cfg Config, eng *sim.Engine, ch *dram.Channel, st *stats.Stats) *Engine {
+	e, err := New(cfg, eng, ch, st)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func computeLayout(cfg Config) layout {
+	var l layout
+	l.dataSectors = cfg.ProtectedBytes / geom.SectorSize
+	groupSize := uint64(counters.DefaultSplitConfig().GroupSize)
+	groups := (l.dataSectors + groupSize - 1) / groupSize
+	l.ctrBytes = groups * geom.SectorSize
+	l.ctrBase = geom.Addr(cfg.ProtectedBytes)
+
+	macsPerSector := uint64(geom.SectorSize / cfg.MACBytes)
+	macSectors := (l.dataSectors + macsPerSector - 1) / macsPerSector
+	l.macBytes = macSectors * geom.SectorSize
+	l.macBase = l.ctrBase + geom.Addr(l.ctrBytes)
+
+	l.bmtBase = l.macBase + geom.Addr(l.macBytes)
+
+	// The compact region sits after a generous BMT window (the tree's
+	// exact size depends on its config; 2× the counter region is a safe
+	// upper bound for any arity ≥ 2).
+	bmtWindow := geom.Addr(2 * l.ctrBytes)
+	if cfg.Compact != counters.CompactOff {
+		per := uint64(cfg.Compact.CountersPerSector())
+		csecs := (l.dataSectors + per - 1) / per
+		l.cctrBytes = csecs * geom.SectorSize
+		l.cctrBase = l.bmtBase + bmtWindow
+		l.cbmtBase = l.cctrBase + geom.Addr(l.cctrBytes)
+	}
+	return l
+}
+
+// Config returns the engine's (normalized) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// ValueCache exposes the value cache for analysis (nil unless enabled).
+func (e *Engine) ValueCache() *valcache.Cache { return e.vcache }
+
+// Caches exposes metadata cache statistics collection points.
+func (e *Engine) syncCacheStats() {
+	if e.ctrCache != nil {
+		e.st.CounterCache = e.ctrCache.Stats
+	}
+	if e.macCache != nil {
+		e.st.MACCache = e.macCache.Stats
+	}
+	if e.bmtCache != nil {
+		e.st.BMTCache = e.bmtCache.Stats
+	}
+	if e.cctrCache != nil {
+		e.st.CompactCache = e.cctrCache.Stats
+	}
+	if e.cbmtCache != nil {
+		e.st.CompactBMTC = e.cbmtCache.Stats
+	}
+}
+
+// FinishStats copies cache counters into the stats record; call once at
+// the end of a run.
+func (e *Engine) FinishStats() { e.syncCacheStats() }
+
+// --- index and address helpers ---
+
+func (e *Engine) sectorIdx(local geom.Addr) uint64 {
+	return uint64(local) / geom.SectorSize
+}
+
+// ctrUnitOf returns the BMT unit index covering data sector i's counters.
+func (e *Engine) ctrUnitOf(i uint64) uint64 {
+	groupBytes := e.split.GroupOf(i) * geom.SectorSize // counter-region byte offset of i's group sector
+	return groupBytes / uint64(e.cfg.Granularity.CounterUnitBytes())
+}
+
+// ctrUnitAddr returns the local address of counter unit u.
+func (e *Engine) ctrUnitAddr(u uint64) geom.Addr {
+	return e.lay.ctrBase + geom.Addr(u*uint64(e.cfg.Granularity.CounterUnitBytes()))
+}
+
+// ctrSectorAddr returns the local address of the 32 B counter sector
+// holding data sector i's minor counter (the write-dirty granularity).
+func (e *Engine) ctrSectorAddr(i uint64) geom.Addr {
+	return e.lay.ctrBase + geom.Addr(e.split.GroupOf(i)*geom.SectorSize)
+}
+
+// cctrSectorAddr is ctrSectorAddr for the compact layer.
+func (e *Engine) cctrSectorAddr(i uint64) geom.Addr {
+	return e.lay.cctrBase + geom.Addr(i/uint64(e.cfg.Compact.CountersPerSector())*geom.SectorSize)
+}
+
+// macAddrOf returns the local address of the 32 B MAC sector holding data
+// sector i's MAC.
+func (e *Engine) macAddrOf(i uint64) geom.Addr {
+	perSector := uint64(geom.SectorSize / e.cfg.MACBytes)
+	return e.lay.macBase + geom.Addr(i/perSector*geom.SectorSize)
+}
+
+// cctrUnitOf returns the compact-tree unit index covering sector i.
+func (e *Engine) cctrUnitOf(i uint64) uint64 {
+	secBytes := i / uint64(e.cfg.Compact.CountersPerSector()) * geom.SectorSize
+	return secBytes / uint64(e.cfg.Granularity.CounterUnitBytes())
+}
+
+// cctrUnitAddr returns the local address of compact counter unit u.
+func (e *Engine) cctrUnitAddr(u uint64) geom.Addr {
+	return e.lay.cctrBase + geom.Addr(u*uint64(e.cfg.Granularity.CounterUnitBytes()))
+}
+
+func (e *Engine) regionOf(local geom.Addr) uint64 {
+	return uint64(local) / uint64(e.cfg.CommonRegionBytes)
+}
+
+// --- functional counter-unit hashing ---
+
+// freshUnitHash returns the hash of an untouched counter unit (all
+// counters zero) — the tree's default leaf value.
+func (e *Engine) freshUnitHash(u uint64) uint64 {
+	return e.hashCounterUnit(u, true)
+}
+
+// counterUnitHash recomputes unit u's hash from current counter state.
+func (e *Engine) counterUnitHash(u uint64) uint64 {
+	h := e.hashCounterUnit(u, false)
+	if e.ctrTampered[u] {
+		return h ^ 1 // attacker-perturbed DRAM copy
+	}
+	return h
+}
+
+// hashCounterUnit hashes unit u's serialized counter contents as they
+// exist in the ORIGINAL (in-memory) copy. The unit index is deliberately
+// NOT part of the input: the tree stores hashes per unit position, which
+// already binds location, and a contents-only hash lets every untouched
+// unit match one default leaf.
+//
+// With compact mirrored counters active, a sector's writes live entirely
+// in the compact layer until its compact counter saturates or its block
+// is disabled — until then the original copy (and hence this hash) shows
+// zero, exactly like the stale DRAM copy real hardware would hold.
+func (e *Engine) hashCounterUnit(u uint64, fresh bool) uint64 {
+	groupSize := e.split.Config().GroupSize
+	groupsPerUnit := e.cfg.Granularity.CounterUnitBytes() / geom.SectorSize
+	buf := e.hashScratch[:0]
+	var tmp [8]byte
+	for g := 0; g < groupsPerUnit; g++ {
+		gi := u*uint64(groupsPerUnit) + uint64(g)
+		var major uint64
+		if !fresh {
+			major = e.split.Major(gi)
+		}
+		binary.LittleEndian.PutUint64(tmp[:], major)
+		buf = append(buf, tmp[:]...)
+		base := gi * uint64(groupSize)
+		for k := 0; k < groupSize; k++ {
+			var m uint32
+			if !fresh {
+				m = e.originalMinor(base+uint64(k), major)
+			}
+			buf = append(buf, byte(m), byte(m>>8))
+		}
+	}
+	e.hashScratch = buf
+	return siphash.Sum64(e.treeKey, buf)
+}
+
+// originalMinor returns the minor counter as stored in the original
+// in-memory copy: the live value once the sector runs on original
+// counters (major bumped, compact saturated, or block disabled), zero
+// while its writes are still absorbed by the compact layer.
+func (e *Engine) originalMinor(i uint64, major uint64) uint32 {
+	m := e.split.Minor(i)
+	if e.compact == nil || major > 0 {
+		return m
+	}
+	if m >= e.compact.Saturation() || e.compact.Disabled(i) {
+		return m
+	}
+	return 0
+}
+
+// freshCompactUnitHash is the default leaf hash of the compact tree.
+func (e *Engine) freshCompactUnitHash(u uint64) uint64 {
+	return e.hashCompactUnit(u, true)
+}
+
+// compactUnitHash recomputes compact unit u's hash.
+func (e *Engine) compactUnitHash(u uint64) uint64 {
+	return e.hashCompactUnit(u, false)
+}
+
+// hashCompactUnit hashes compact unit u's counter values (contents only,
+// for the same default-leaf reason as hashCounterUnit; the leading 0x43
+// byte domain-separates it from the full-counter hash).
+func (e *Engine) hashCompactUnit(u uint64, fresh bool) uint64 {
+	per := uint64(e.cfg.Compact.CountersPerSector())
+	sectorsPerUnit := uint64(e.cfg.Granularity.CounterUnitBytes()/geom.SectorSize) * per
+	buf := append(e.hashScratch[:0], 0x43)
+	base := u * sectorsPerUnit
+	for k := uint64(0); k < sectorsPerUnit; k++ {
+		var v uint32
+		if !fresh && base+k < e.lay.dataSectors {
+			v = e.compact.Value(base + k)
+		}
+		buf = append(buf, byte(v))
+	}
+	e.hashScratch = buf
+	return siphash.Sum64(e.treeKey, buf)
+}
+
+// --- functional data-image helpers ---
+
+// materialize ensures the DRAM image holds sector local, lazily encrypting
+// the workload's initial contents under the sector's current counter.
+func (e *Engine) materialize(local geom.Addr) []byte {
+	local = geom.SectorAddr(local)
+	if ct, ok := e.mem[local]; ok {
+		return ct
+	}
+	pt := make([]byte, geom.SectorSize)
+	if e.InitData != nil {
+		copy(pt, e.InitData(local))
+	}
+	if e.cfg.NoSecurity {
+		e.mem[local] = pt
+		return pt
+	}
+	i := e.sectorIdx(local)
+	ctr := e.split.Value(i)
+	ct, err := e.enc.Encrypt(pt, uint64(local), ctr)
+	if err != nil {
+		panic(fmt.Sprintf("secmem: encrypt: %v", err))
+	}
+	e.mem[local] = ct
+	e.macs[i] = siphash.Truncate(siphash.SumTagged(e.macKey, ct, uint64(local), ctr), e.cfg.MACBytes)
+	return ct
+}
+
+// plaintextOf decrypts the current DRAM image of sector local.
+func (e *Engine) plaintextOf(local geom.Addr) []byte {
+	local = geom.SectorAddr(local)
+	ct := e.materialize(local)
+	if e.cfg.NoSecurity {
+		out := make([]byte, len(ct))
+		copy(out, ct)
+		return out
+	}
+	i := e.sectorIdx(local)
+	pt, err := e.enc.Decrypt(ct, uint64(local), e.split.Value(i))
+	if err != nil {
+		panic(fmt.Sprintf("secmem: decrypt: %v", err))
+	}
+	return pt
+}
+
+// storeCiphertext encrypts plaintext pt for sector local under its current
+// counter and refreshes the stored MAC.
+func (e *Engine) storeCiphertext(local geom.Addr, pt []byte) []byte {
+	local = geom.SectorAddr(local)
+	i := e.sectorIdx(local)
+	ctr := e.split.Value(i)
+	ct, err := e.enc.Encrypt(pt, uint64(local), ctr)
+	if err != nil {
+		panic(fmt.Sprintf("secmem: encrypt: %v", err))
+	}
+	e.mem[local] = ct
+	return ct
+}
+
+// currentMAC computes the MAC of sector local's current ciphertext.
+func (e *Engine) currentMAC(local geom.Addr) uint64 {
+	local = geom.SectorAddr(local)
+	ct := e.materialize(local)
+	i := e.sectorIdx(local)
+	return siphash.Truncate(siphash.SumTagged(e.macKey, ct, uint64(local), e.split.Value(i)), e.cfg.MACBytes)
+}
+
+// onCounterOverflow handles a split-counter minor overflow: every
+// materialized sector of the group is re-encrypted under its new counter
+// and its MAC refreshed, charging a read and a write per sector.
+// The group's plaintexts were captured by bumpCounter before the reset.
+func (e *Engine) onCounterOverflow(gi uint64, sectors []uint64) {
+	pts := e.overflowPlain
+	for _, s := range sectors {
+		local := geom.Addr(s * geom.SectorSize)
+		pt, ok := pts[local]
+		if !ok {
+			continue // never materialized: nothing stored to re-encrypt
+		}
+		e.storeCiphertext(local, pt)
+		e.macs[s] = e.currentMAC(local)
+		delete(e.macStale, s)
+		e.ch.Access(local, false, stats.Data, nil)
+		e.ch.Access(local, true, stats.Data, nil)
+		if e.macCache != nil {
+			ma := e.macAddrOf(s)
+			e.handleEvictions(e.macCache.Insert(ma, e.macCache.MaskFor(ma), true), stats.MAC, false)
+		}
+	}
+}

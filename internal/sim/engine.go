@@ -1,0 +1,105 @@
+// Package sim provides the discrete-event simulation kernel shared by the
+// GPU model and the secure-memory engines: a deterministic event queue
+// keyed by cycle, with FIFO ordering among events scheduled for the same
+// cycle.
+//
+// All model components express time by scheduling closures. The kernel is
+// single-threaded by design — determinism matters more than parallel
+// speed for reproducing the paper's figures, and runs are repeatable
+// bit-for-bit for a given seed.
+package sim
+
+import "container/heap"
+
+// Cycle is a point in simulated time, in core clock cycles.
+type Cycle uint64
+
+type event struct {
+	at  Cycle
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Engine is the event queue. The zero value is ready to use.
+type Engine struct {
+	now    Cycle
+	seq    uint64
+	events eventHeap
+}
+
+// Now returns the current simulated cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Schedule runs fn after delay cycles. A delay of zero runs fn later in
+// the current cycle, after already-queued same-cycle events.
+func (e *Engine) Schedule(delay Cycle, fn func()) {
+	e.seq++
+	heap.Push(&e.events, event{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Step executes the earliest event, advancing time to it. It reports
+// whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// RunUntil executes events until the queue is empty or the next event
+// would be at or beyond limit. It returns the number of events executed.
+func (e *Engine) RunUntil(limit Cycle) uint64 {
+	var n uint64
+	for len(e.events) > 0 && e.events[0].at < limit {
+		e.Step()
+		n++
+	}
+	if e.now < limit && len(e.events) == 0 {
+		// Time still advances to the horizon even if nothing is queued.
+		e.now = limit
+	}
+	return n
+}
+
+// RunWhile executes events while cond() holds and events remain.
+// It returns the number of events executed.
+func (e *Engine) RunWhile(cond func() bool) uint64 {
+	var n uint64
+	for cond() && e.Step() {
+		n++
+	}
+	return n
+}
+
+// Drain executes all remaining events (bounded by maxEvents as a safety
+// net against livelock bugs; pass 0 for no bound). It reports whether the
+// queue fully drained.
+func (e *Engine) Drain(maxEvents uint64) bool {
+	var n uint64
+	for e.Step() {
+		n++
+		if maxEvents != 0 && n >= maxEvents {
+			return len(e.events) == 0
+		}
+	}
+	return true
+}

@@ -1,0 +1,290 @@
+// Package stats collects the measurements the paper's evaluation reports:
+// DRAM traffic broken down by class (data vs. each kind of security
+// metadata), request counts, cache hit rates, simulated cycles and
+// instructions, and an activity-based energy estimate.
+//
+// All schemes in the reproduction write into the same Stats structure so
+// the harness can print uniform tables for every figure.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Class identifies what a DRAM transaction was for.
+type Class int
+
+const (
+	// Data is demand data traffic (L2 fills and writebacks).
+	Data Class = iota
+	// Counter is split-counter (full-size) block traffic.
+	Counter
+	// MAC is message-authentication-code traffic.
+	MAC
+	// BMT is Bonsai-Merkle-Tree node traffic for the full-size tree.
+	BMT
+	// CompactCounter is Plutus compact mirrored-counter traffic.
+	CompactCounter
+	// CompactBMT is traffic of the small tree over compact counters.
+	CompactBMT
+	numClasses
+)
+
+var classNames = [numClasses]string{"data", "counter", "mac", "bmt", "cctr", "cbmt"}
+
+// String returns the short name used in report tables.
+func (c Class) String() string {
+	if c < 0 || c >= numClasses {
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+	return classNames[c]
+}
+
+// Classes lists all traffic classes in report order.
+func Classes() []Class {
+	out := make([]Class, numClasses)
+	for i := range out {
+		out[i] = Class(i)
+	}
+	return out
+}
+
+// Traffic accumulates DRAM bytes moved, per class and direction.
+type Traffic struct {
+	ReadBytes  [numClasses]uint64
+	WriteBytes [numClasses]uint64
+	Reads      [numClasses]uint64 // transaction counts
+	Writes     [numClasses]uint64
+}
+
+// AddRead records a DRAM read transaction of n bytes for class c.
+func (t *Traffic) AddRead(c Class, n int) {
+	t.ReadBytes[c] += uint64(n)
+	t.Reads[c]++
+}
+
+// AddWrite records a DRAM write transaction of n bytes for class c.
+func (t *Traffic) AddWrite(c Class, n int) {
+	t.WriteBytes[c] += uint64(n)
+	t.Writes[c]++
+}
+
+// Bytes returns total bytes moved for class c in both directions.
+func (t *Traffic) Bytes(c Class) uint64 { return t.ReadBytes[c] + t.WriteBytes[c] }
+
+// Total returns total bytes moved across all classes.
+func (t *Traffic) Total() uint64 {
+	var s uint64
+	for c := Class(0); c < numClasses; c++ {
+		s += t.Bytes(c)
+	}
+	return s
+}
+
+// MetadataBytes returns bytes moved for everything except demand data.
+func (t *Traffic) MetadataBytes() uint64 { return t.Total() - t.Bytes(Data) }
+
+// Transactions returns the total DRAM transaction count.
+func (t *Traffic) Transactions() uint64 {
+	var s uint64
+	for c := Class(0); c < numClasses; c++ {
+		s += t.Reads[c] + t.Writes[c]
+	}
+	return s
+}
+
+// Add accumulates o into t (used to merge per-partition traffic).
+func (t *Traffic) Add(o *Traffic) {
+	for c := Class(0); c < numClasses; c++ {
+		t.ReadBytes[c] += o.ReadBytes[c]
+		t.WriteBytes[c] += o.WriteBytes[c]
+		t.Reads[c] += o.Reads[c]
+		t.Writes[c] += o.Writes[c]
+	}
+}
+
+// CacheStats tracks hit/miss counts for one cache.
+type CacheStats struct {
+	Hits, Misses, MSHRMerges, Evictions, DirtyEvictions uint64
+}
+
+// Accesses returns total lookups.
+func (c *CacheStats) Accesses() uint64 { return c.Hits + c.Misses + c.MSHRMerges }
+
+// HitRate returns the fraction of lookups that hit (MSHR merges count as
+// hits for this purpose: they did not generate a new DRAM request).
+func (c *CacheStats) HitRate() float64 {
+	a := c.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(c.Hits+c.MSHRMerges) / float64(a)
+}
+
+// Add accumulates o into c.
+func (c *CacheStats) Add(o *CacheStats) {
+	c.Hits += o.Hits
+	c.Misses += o.Misses
+	c.MSHRMerges += o.MSHRMerges
+	c.Evictions += o.Evictions
+	c.DirtyEvictions += o.DirtyEvictions
+}
+
+// SecStats counts security-engine events.
+type SecStats struct {
+	// ValueVerified counts read sectors authenticated purely by the value
+	// cache (no MAC needed).
+	ValueVerified uint64
+	// MACVerified counts read sectors that fell back to MAC verification.
+	MACVerified uint64
+	// MACSkippedWrites counts dirty sectors whose MAC update was elided
+	// because the write is guaranteed value-verifiable at next read.
+	MACSkippedWrites uint64
+	// MACWrites counts MAC updates performed on writebacks.
+	MACWrites uint64
+	// CompactHits counts counter fetches served by the compact layer.
+	CompactHits uint64
+	// CompactOverflow counts accesses that found a saturated compact
+	// counter and required a second access to the original counters.
+	CompactOverflow uint64
+	// CompactDisabled counts accesses that went straight to original
+	// counters because the adaptive enable bit was off.
+	CompactDisabled uint64
+	// BMTNodeVerifies counts tree-node verifications performed.
+	BMTNodeVerifies uint64
+	// TamperDetected counts integrity failures (should be zero in
+	// benign runs; nonzero in tamper-injection tests).
+	TamperDetected uint64
+	// ReplayDetected counts freshness failures caught by the tree.
+	ReplayDetected uint64
+}
+
+// Add accumulates o into s.
+func (s *SecStats) Add(o *SecStats) {
+	s.ValueVerified += o.ValueVerified
+	s.MACVerified += o.MACVerified
+	s.MACSkippedWrites += o.MACSkippedWrites
+	s.MACWrites += o.MACWrites
+	s.CompactHits += o.CompactHits
+	s.CompactOverflow += o.CompactOverflow
+	s.CompactDisabled += o.CompactDisabled
+	s.BMTNodeVerifies += o.BMTNodeVerifies
+	s.TamperDetected += o.TamperDetected
+	s.ReplayDetected += o.ReplayDetected
+}
+
+// Stats is the full measurement record of one simulation run.
+type Stats struct {
+	Benchmark string
+	Scheme    string
+
+	Cycles       uint64
+	Instructions uint64
+	MemInsts     uint64
+	LoadInsts    uint64
+	StoreInsts   uint64
+
+	Traffic Traffic
+	Sec     SecStats
+
+	L2           CacheStats
+	CounterCache CacheStats
+	MACCache     CacheStats
+	BMTCache     CacheStats
+	CompactCache CacheStats
+	CompactBMTC  CacheStats
+}
+
+// IPC returns warp-instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// Merge accumulates per-partition stats o into s (cycle counts are taken
+// as the max, everything else sums).
+func (s *Stats) Merge(o *Stats) {
+	if o.Cycles > s.Cycles {
+		s.Cycles = o.Cycles
+	}
+	s.Instructions += o.Instructions
+	s.MemInsts += o.MemInsts
+	s.LoadInsts += o.LoadInsts
+	s.StoreInsts += o.StoreInsts
+	s.Traffic.Add(&o.Traffic)
+	s.Sec.Add(&o.Sec)
+	s.L2.Add(&o.L2)
+	s.CounterCache.Add(&o.CounterCache)
+	s.MACCache.Add(&o.MACCache)
+	s.BMTCache.Add(&o.BMTCache)
+	s.CompactCache.Add(&o.CompactCache)
+	s.CompactBMTC.Add(&o.CompactBMTC)
+}
+
+// Table renders rows of labelled float values as an aligned text table,
+// with one column per label in labels and one row per entry in rows.
+// It is the shared formatter for every experiment's output.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, cell := range r {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	rule := make([]string, len(header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// GeoMean returns the geometric mean of xs, ignoring non-positive values.
+func GeoMean(xs []float64) float64 {
+	logSum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			logSum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// SortedKeys returns the keys of m in sorted order; report tables use it
+// for deterministic row ordering.
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTrafficAccounting(t *testing.T) {
+	var tr Traffic
+	tr.AddRead(Data, 32)
+	tr.AddRead(Data, 32)
+	tr.AddWrite(Data, 32)
+	tr.AddRead(MAC, 32)
+	tr.AddWrite(Counter, 128)
+
+	if got := tr.Bytes(Data); got != 96 {
+		t.Errorf("Bytes(Data) = %d, want 96", got)
+	}
+	if got := tr.Total(); got != 96+32+128 {
+		t.Errorf("Total = %d, want 256", got)
+	}
+	if got := tr.MetadataBytes(); got != 160 {
+		t.Errorf("MetadataBytes = %d, want 160", got)
+	}
+	if got := tr.Transactions(); got != 5 {
+		t.Errorf("Transactions = %d, want 5", got)
+	}
+}
+
+func TestTrafficAdd(t *testing.T) {
+	var a, b Traffic
+	a.AddRead(BMT, 32)
+	b.AddRead(BMT, 32)
+	b.AddWrite(CompactCounter, 32)
+	a.Add(&b)
+	if a.Bytes(BMT) != 64 || a.Bytes(CompactCounter) != 32 {
+		t.Errorf("Add merged wrong: bmt=%d cctr=%d", a.Bytes(BMT), a.Bytes(CompactCounter))
+	}
+}
+
+func TestCacheStatsHitRate(t *testing.T) {
+	c := CacheStats{Hits: 6, Misses: 2, MSHRMerges: 2}
+	if got := c.HitRate(); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("HitRate = %v, want 0.8", got)
+	}
+	var empty CacheStats
+	if empty.HitRate() != 0 {
+		t.Errorf("empty HitRate = %v, want 0", empty.HitRate())
+	}
+}
+
+func TestStatsIPCAndMerge(t *testing.T) {
+	a := Stats{Cycles: 100, Instructions: 250}
+	if got := a.IPC(); got != 2.5 {
+		t.Errorf("IPC = %v, want 2.5", got)
+	}
+	b := Stats{Cycles: 120, Instructions: 50}
+	a.Merge(&b)
+	if a.Cycles != 120 {
+		t.Errorf("Merge cycles = %d, want max 120", a.Cycles)
+	}
+	if a.Instructions != 300 {
+		t.Errorf("Merge instructions = %d, want 300", a.Instructions)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Data.String() != "data" || MAC.String() != "mac" {
+		t.Errorf("class names wrong: %v %v", Data, MAC)
+	}
+	if !strings.Contains(Class(99).String(), "99") {
+		t.Errorf("out-of-range class should mention its value")
+	}
+	if len(Classes()) != int(numClasses) {
+		t.Errorf("Classes() returned %d entries", len(Classes()))
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"bench", "ipc"}, [][]string{{"bfs", "0.91"}, {"sgemm-long", "2"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "bench") || !strings.Contains(lines[0], "ipc") {
+		t.Errorf("bad header: %q", lines[0])
+	}
+	// All rows must align: the "ipc" column starts at the same offset.
+	idx := strings.Index(lines[0], "ipc")
+	if strings.Index(lines[2], "0.91") != idx {
+		t.Errorf("misaligned column:\n%s", out)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("GeoMean(2,8) = %v, want 4", got)
+	}
+	if got := GeoMean([]float64{5, 0, -1}); math.Abs(got-5) > 1e-9 {
+		t.Errorf("GeoMean should skip non-positive: got %v", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Errorf("GeoMean(nil) should be 0")
+	}
+}
+
+func TestEnergyModelOrdering(t *testing.T) {
+	m := DefaultEnergyModel()
+	base := Stats{Cycles: 1000, Instructions: 4000}
+	base.Traffic.AddRead(Data, 32)
+
+	secure := base
+	for i := 0; i < 50; i++ {
+		secure.Traffic.AddRead(MAC, 32)
+		secure.Traffic.AddRead(Counter, 32)
+	}
+	secure.Sec.MACVerified = 50
+
+	if pw, pb := m.Power(&secure), m.Power(&base); pw <= pb {
+		t.Errorf("secure run power %v should exceed baseline %v", pw, pb)
+	}
+	var zero Stats
+	if m.Power(&zero) != 0 {
+		t.Errorf("zero-cycle power should be 0")
+	}
+}
+
+func TestEnergyBreakdownSums(t *testing.T) {
+	m := DefaultEnergyModel()
+	s := Stats{Cycles: 10, Instructions: 20}
+	s.Traffic.AddRead(Data, 32)
+	s.L2.Hits = 5
+	e := m.Energy(&s)
+	sum := e.DRAM + e.Caches + e.Crypto + e.Core + e.Static
+	if math.Abs(sum-e.TotalRaw) > 1e-9 {
+		t.Errorf("breakdown sum %v != total %v", sum, e.TotalRaw)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("SortedKeys = %v", got)
+	}
+}

@@ -1,0 +1,239 @@
+// Package trace records benchmark instruction streams to a compact binary
+// format and replays them as gpusim workloads. Traces make experiments
+// exactly repeatable across machines and let users drive the simulator
+// with externally captured memory traces instead of the synthetic suite.
+//
+// Format (little-endian): a header ("PLTR", version, warp count, value
+// seed), then one record per instruction:
+//
+//	u8   kind (0 compute, 1 load, 2 store)
+//	u32  warp
+//	u16  cycles (compute) or address count (load/store)
+//	u64× addresses
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/plutus-gpu/plutus/internal/geom"
+	"github.com/plutus-gpu/plutus/internal/gpusim"
+)
+
+// magic identifies trace files.
+var magic = [4]byte{'P', 'L', 'T', 'R'}
+
+const version = 1
+
+// Record is one traced warp instruction.
+type Record struct {
+	Warp   uint32
+	Kind   gpusim.InstKind
+	Cycles uint16
+	Addrs  []geom.Addr
+}
+
+// Trace is a full captured run.
+type Trace struct {
+	Warps     int
+	ValueSeed uint64
+	Records   []Record
+}
+
+// Capture drains up to maxInsts instructions from wl (round-robin over
+// warps, approximating issue order) into a Trace.
+func Capture(wl gpusim.Workload, maxInsts int) *Trace {
+	tr := &Trace{Warps: wl.Warps(), ValueSeed: 0x9e3779b97f4a7c15}
+	live := make([]bool, wl.Warps())
+	for i := range live {
+		live[i] = true
+	}
+	remaining := wl.Warps()
+	for len(tr.Records) < maxInsts && remaining > 0 {
+		for w := 0; w < wl.Warps() && len(tr.Records) < maxInsts; w++ {
+			if !live[w] {
+				continue
+			}
+			inst, ok := wl.Next(w)
+			if !ok {
+				live[w] = false
+				remaining--
+				continue
+			}
+			rec := Record{Warp: uint32(w), Kind: inst.Kind}
+			switch inst.Kind {
+			case gpusim.Compute:
+				c := inst.Cycles
+				if c < 1 {
+					c = 1
+				}
+				if c > 0xffff {
+					c = 0xffff
+				}
+				rec.Cycles = uint16(c)
+			default:
+				rec.Addrs = append([]geom.Addr(nil), inst.Addrs...)
+			}
+			tr.Records = append(tr.Records, rec)
+		}
+	}
+	return tr
+}
+
+// Write serializes the trace.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	hdr := make([]byte, 2+4+8+4)
+	binary.LittleEndian.PutUint16(hdr[0:], version)
+	binary.LittleEndian.PutUint32(hdr[2:], uint32(t.Warps))
+	binary.LittleEndian.PutUint64(hdr[6:], t.ValueSeed)
+	binary.LittleEndian.PutUint32(hdr[14:], uint32(len(t.Records)))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	var buf [8]byte
+	for _, r := range t.Records {
+		if err := bw.WriteByte(byte(r.Kind)); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(buf[:4], r.Warp)
+		if _, err := bw.Write(buf[:4]); err != nil {
+			return err
+		}
+		var n uint16
+		if r.Kind == gpusim.Compute {
+			n = r.Cycles
+		} else {
+			n = uint16(len(r.Addrs))
+		}
+		binary.LittleEndian.PutUint16(buf[:2], n)
+		if _, err := bw.Write(buf[:2]); err != nil {
+			return err
+		}
+		if r.Kind != gpusim.Compute {
+			for _, a := range r.Addrs {
+				binary.LittleEndian.PutUint64(buf[:], uint64(a))
+				if _, err := bw.Write(buf[:]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a serialized trace.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: header: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", m)
+	}
+	hdr := make([]byte, 2+4+8+4)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("trace: header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[0:]); v != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	t := &Trace{
+		Warps:     int(binary.LittleEndian.Uint32(hdr[2:])),
+		ValueSeed: binary.LittleEndian.Uint64(hdr[6:]),
+	}
+	count := binary.LittleEndian.Uint32(hdr[14:])
+	var buf [8]byte
+	for i := uint32(0); i < count; i++ {
+		kind, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		if _, err := io.ReadFull(br, buf[:4]); err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		warp := binary.LittleEndian.Uint32(buf[:4])
+		if _, err := io.ReadFull(br, buf[:2]); err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		n := binary.LittleEndian.Uint16(buf[:2])
+		rec := Record{Warp: warp, Kind: gpusim.InstKind(kind)}
+		if rec.Kind == gpusim.Compute {
+			rec.Cycles = n
+		} else {
+			rec.Addrs = make([]geom.Addr, n)
+			for k := range rec.Addrs {
+				if _, err := io.ReadFull(br, buf[:]); err != nil {
+					return nil, fmt.Errorf("trace: record %d addr %d: %w", i, k, err)
+				}
+				rec.Addrs[k] = geom.Addr(binary.LittleEndian.Uint64(buf[:]))
+			}
+		}
+		t.Records = append(t.Records, rec)
+	}
+	return t, nil
+}
+
+// Replay adapts a Trace to gpusim.Workload. Memory values are hash-derived
+// from the stored seed (value locality is workload-specific; replays that
+// need the original value profile should regenerate the source workload).
+type Replay struct {
+	name  string
+	trace *Trace
+	// perWarp[w] holds indices into trace.Records in capture order.
+	perWarp [][]int
+	pos     []int
+}
+
+// NewReplay builds a replayable workload from a trace.
+func NewReplay(name string, t *Trace) *Replay {
+	r := &Replay{name: name, trace: t, perWarp: make([][]int, t.Warps), pos: make([]int, t.Warps)}
+	for i, rec := range t.Records {
+		r.perWarp[rec.Warp] = append(r.perWarp[rec.Warp], i)
+	}
+	return r
+}
+
+// Name implements gpusim.Workload.
+func (r *Replay) Name() string { return r.name }
+
+// Warps implements gpusim.Workload.
+func (r *Replay) Warps() int { return r.trace.Warps }
+
+// Next implements gpusim.Workload.
+func (r *Replay) Next(w int) (gpusim.Inst, bool) {
+	if r.pos[w] >= len(r.perWarp[w]) {
+		return gpusim.Inst{}, false
+	}
+	rec := r.trace.Records[r.perWarp[w][r.pos[w]]]
+	r.pos[w]++
+	switch rec.Kind {
+	case gpusim.Compute:
+		return gpusim.Inst{Kind: gpusim.Compute, Cycles: int(rec.Cycles)}, true
+	default:
+		return gpusim.Inst{Kind: rec.Kind, Addrs: rec.Addrs}, true
+	}
+}
+
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// MemValue implements gpusim.Workload.
+func (r *Replay) MemValue(a geom.Addr) uint32 {
+	return uint32(mix(r.trace.ValueSeed ^ uint64(a)/4))
+}
+
+// StoreValue implements gpusim.Workload.
+func (r *Replay) StoreValue(w int, a geom.Addr) uint32 {
+	return uint32(mix(r.trace.ValueSeed ^ uint64(a)/4 ^ uint64(w)<<48))
+}

@@ -1,0 +1,51 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/plutus-gpu/plutus/internal/gpusim"
+	"github.com/plutus-gpu/plutus/internal/secmem"
+)
+
+// TestSchemeOrderingEndToEnd is the end-to-end sanity sweep: bfs under
+// the three headline schemes at the paper's 128 MiB-per-partition scale,
+// checking the relative ordering the paper reports and the absence of
+// false security alarms.
+func TestSchemeOrderingEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system integration run")
+	}
+	const protected = 128 << 20
+	cycles := map[string]uint64{}
+	meta := map[string]uint64{}
+	for _, scheme := range []secmem.Config{
+		secmem.Baseline(protected), secmem.PSSM(protected), secmem.Plutus(protected),
+	} {
+		b := MustGet("bfs")
+		cfg := gpusim.ScaledConfig(scheme)
+		cfg.Sec.ProtectedBytes = protected
+		cfg.MaxInstructions = 20000
+		g, err := gpusim.New(cfg, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := g.Run()
+		t.Logf("%-8s %6d inst %8d cycles IPC=%.3f meta=%6dKB value-verified=%d",
+			scheme.Scheme, st.Instructions, st.Cycles, st.IPC(),
+			st.Traffic.MetadataBytes()/1024, st.Sec.ValueVerified)
+		if st.Sec.TamperDetected+st.Sec.ReplayDetected != 0 {
+			t.Fatalf("false alarms under %s: %+v", scheme.Scheme, st.Sec)
+		}
+		cycles[scheme.Scheme] = st.Cycles
+		meta[scheme.Scheme] = st.Traffic.MetadataBytes()
+	}
+	if cycles["pssm"] <= cycles["nosec"] {
+		t.Error("PSSM should be slower than no-security")
+	}
+	if cycles["plutus"] >= cycles["pssm"] {
+		t.Error("Plutus should be faster than PSSM")
+	}
+	if meta["plutus"] >= meta["pssm"] {
+		t.Error("Plutus should move less metadata than PSSM")
+	}
+}

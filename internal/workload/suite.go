@@ -1,0 +1,152 @@
+package workload
+
+// The synthetic benchmark suite. One entry per workload, named after the
+// paper's Rodinia / Parboil / LonestarGPU / Pannotia applications, with
+// parameters chosen to mirror each application's published behaviour:
+//
+//   - graph workloads (bfs, sssp, pagerank, color, mis) are irregular,
+//     read-dominated, and value-rich (small integer distances/ranks and
+//     many zeros) — the cases where MAC traffic dominates in the paper's
+//     Fig. 7 and where Plutus's value verification shines;
+//   - stencil/streaming workloads (hotspot, srad, pathfinder, stencil,
+//     sgemm, kmeans) have good spatial locality and moderate value reuse
+//     (floating-point fields with repeated boundary/initial values);
+//   - histo and backprop write heavily, exercising the compact-counter
+//     overflow paths.
+//
+// Footprints are sized for the scaled 8-partition simulator: far beyond
+// its 1.5 MiB aggregate L2, so every run is genuinely memory-bound.
+
+const (
+	mib = 1 << 20
+)
+
+func init() {
+	// --- Rodinia-3.1 ---
+	register(Spec{
+		Name: "backprop", Suite: "rodinia", Intensity: "high",
+		Warps: 960, InstsPerWarp: 300, Footprint: 16 * mib,
+		Pattern: Streaming, MemFrac: 0.55, ReadFrac: 0.62,
+		ComputeCycles: 4, ThreadsPerAccess: 32,
+		Values: ValueProfile{ZeroFrac: 0.30, PoolFrac: 0.35, PoolSize: 48, Jitter: true},
+	})
+	register(Spec{
+		Name: "hotspot", Suite: "rodinia", Intensity: "medium",
+		Warps: 960, InstsPerWarp: 300, Footprint: 12 * mib,
+		Pattern: Stencil, MemFrac: 0.40, ReadFrac: 0.80,
+		ComputeCycles: 6, ThreadsPerAccess: 32,
+		Values: ValueProfile{ZeroFrac: 0.20, PoolFrac: 0.45, PoolSize: 64, Jitter: true},
+	})
+	register(Spec{
+		Name: "kmeans", Suite: "rodinia", Intensity: "high",
+		Warps: 960, InstsPerWarp: 300, Footprint: 24 * mib,
+		Pattern: Streaming, MemFrac: 0.60, ReadFrac: 0.95,
+		ComputeCycles: 4, ThreadsPerAccess: 32,
+		Values: ValueProfile{ZeroFrac: 0.15, PoolFrac: 0.40, PoolSize: 128, Jitter: true},
+	})
+	register(Spec{
+		Name: "srad", Suite: "rodinia", Intensity: "medium",
+		Warps: 960, InstsPerWarp: 300, Footprint: 12 * mib,
+		Pattern: Stencil, MemFrac: 0.45, ReadFrac: 0.75,
+		ComputeCycles: 6, ThreadsPerAccess: 32,
+		Values: ValueProfile{ZeroFrac: 0.25, PoolFrac: 0.35, PoolSize: 96, Jitter: true},
+	})
+	register(Spec{
+		Name: "pathfinder", Suite: "rodinia", Intensity: "high",
+		Warps: 960, InstsPerWarp: 300, Footprint: 16 * mib,
+		Pattern: Streaming, MemFrac: 0.55, ReadFrac: 0.85,
+		ComputeCycles: 3, ThreadsPerAccess: 32,
+		Values: ValueProfile{ZeroFrac: 0.35, PoolFrac: 0.35, PoolSize: 64},
+	})
+
+	// --- Parboil ---
+	register(Spec{
+		Name: "sgemm", Suite: "parboil", Intensity: "medium",
+		Warps: 960, InstsPerWarp: 300, Footprint: 16 * mib,
+		Pattern: Strided, MemFrac: 0.35, ReadFrac: 0.90,
+		ComputeCycles: 8, ThreadsPerAccess: 32,
+		Values: ValueProfile{ZeroFrac: 0.10, PoolFrac: 0.40, PoolSize: 192, Jitter: true},
+	})
+	register(Spec{
+		Name: "spmv", Suite: "parboil", Intensity: "high",
+		Warps: 960, InstsPerWarp: 250, Footprint: 24 * mib,
+		Pattern: GraphIrregular, MemFrac: 0.65, ReadFrac: 0.93,
+		ComputeCycles: 3, ThreadsPerAccess: 24,
+		Values: ValueProfile{ZeroFrac: 0.45, PoolFrac: 0.30, PoolSize: 64, Jitter: true},
+	})
+	register(Spec{
+		Name: "stencil", Suite: "parboil", Intensity: "high",
+		Warps: 960, InstsPerWarp: 300, Footprint: 16 * mib,
+		Pattern: Stencil, MemFrac: 0.55, ReadFrac: 0.82,
+		ComputeCycles: 4, ThreadsPerAccess: 32,
+		Values: ValueProfile{ZeroFrac: 0.25, PoolFrac: 0.40, PoolSize: 96, Jitter: true},
+	})
+	register(Spec{
+		Name: "histo", Suite: "parboil", Intensity: "medium",
+		Warps: 960, InstsPerWarp: 250, Footprint: 8 * mib,
+		Pattern: Random, MemFrac: 0.45, ReadFrac: 0.55,
+		ComputeCycles: 4, ThreadsPerAccess: 16,
+		Values: ValueProfile{ZeroFrac: 0.50, PoolFrac: 0.25, PoolSize: 32},
+	})
+
+	// --- LonestarGPU-2.0 ---
+	register(Spec{
+		Name: "bfs", Suite: "lonestar", Intensity: "high",
+		Warps: 960, InstsPerWarp: 250, Footprint: 24 * mib,
+		Pattern: GraphIrregular, MemFrac: 0.60, ReadFrac: 0.88,
+		ComputeCycles: 2, ThreadsPerAccess: 28,
+		Values: ValueProfile{ZeroFrac: 0.40, PoolFrac: 0.40, PoolSize: 32},
+	})
+	register(Spec{
+		Name: "sssp", Suite: "lonestar", Intensity: "high",
+		Warps: 960, InstsPerWarp: 250, Footprint: 24 * mib,
+		Pattern: GraphIrregular, MemFrac: 0.60, ReadFrac: 0.84,
+		ComputeCycles: 3, ThreadsPerAccess: 28,
+		Values: ValueProfile{ZeroFrac: 0.30, PoolFrac: 0.45, PoolSize: 48, Jitter: true},
+	})
+
+	// --- Pannotia ---
+	register(Spec{
+		Name: "pagerank", Suite: "pannotia", Intensity: "high",
+		Warps: 960, InstsPerWarp: 250, Footprint: 24 * mib,
+		Pattern: GraphIrregular, MemFrac: 0.62, ReadFrac: 0.92,
+		ComputeCycles: 3, ThreadsPerAccess: 28,
+		Values: ValueProfile{ZeroFrac: 0.25, PoolFrac: 0.50, PoolSize: 64, Jitter: true},
+	})
+	register(Spec{
+		Name: "color", Suite: "pannotia", Intensity: "medium",
+		Warps: 960, InstsPerWarp: 250, Footprint: 16 * mib,
+		Pattern: GraphIrregular, MemFrac: 0.50, ReadFrac: 0.87,
+		ComputeCycles: 3, ThreadsPerAccess: 24,
+		Values: ValueProfile{ZeroFrac: 0.45, PoolFrac: 0.35, PoolSize: 24},
+	})
+	register(Spec{
+		Name: "mis", Suite: "pannotia", Intensity: "medium",
+		Warps: 960, InstsPerWarp: 250, Footprint: 16 * mib,
+		Pattern: GraphIrregular, MemFrac: 0.50, ReadFrac: 0.90,
+		ComputeCycles: 3, ThreadsPerAccess: 24,
+		Values: ValueProfile{ZeroFrac: 0.50, PoolFrac: 0.30, PoolSize: 24},
+	})
+}
+
+func init() {
+	// --- additional kernels rounding out the suite ---
+	// stream: a pure bandwidth microbenchmark (copy-scale-add style),
+	// the upper bound for metadata-overhead amortization.
+	register(Spec{
+		Name: "stream", Suite: "rodinia", Intensity: "high",
+		Warps: 960, InstsPerWarp: 300, Footprint: 32 * mib,
+		Pattern: Streaming, MemFrac: 0.75, ReadFrac: 0.66,
+		ComputeCycles: 1, ThreadsPerAccess: 32,
+		Values: ValueProfile{ZeroFrac: 0.10, PoolFrac: 0.55, PoolSize: 32, Jitter: true},
+	})
+	// nw (Needleman-Wunsch): diagonal-wavefront dependence with strided
+	// reuse and a moderate write share.
+	register(Spec{
+		Name: "nw", Suite: "rodinia", Intensity: "medium",
+		Warps: 960, InstsPerWarp: 300, Footprint: 12 * mib,
+		Pattern: Strided, MemFrac: 0.45, ReadFrac: 0.70,
+		ComputeCycles: 5, ThreadsPerAccess: 32,
+		Values: ValueProfile{ZeroFrac: 0.35, PoolFrac: 0.30, PoolSize: 64, Jitter: true},
+	})
+}

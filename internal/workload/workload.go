@@ -1,0 +1,317 @@
+// Package workload provides the synthetic benchmark suite standing in for
+// the paper's Rodinia-3.1 / Parboil / LonestarGPU-2.0 / Pannotia
+// workloads (the real binaries and inputs require GPGPU-Sim; see
+// DESIGN.md's substitution table).
+//
+// Each benchmark is a deterministic generator parameterised along the
+// axes the paper's mechanisms key on:
+//
+//   - access pattern (streaming, strided, stencil, uniform-random,
+//     graph-irregular with skew) — drives cache and row-buffer locality
+//     and metadata-cache effectiveness;
+//   - memory intensity and read/write mix — drives bandwidth contention
+//     (Fig. 7) and the write-rarity that compact counters exploit
+//     (Fig. 10);
+//   - value profile (zero fraction, hot-pool fraction, near-value jitter)
+//     — drives the value locality that Plutus's verification exploits
+//     (Fig. 9).
+//
+// Everything is hash-derived from (benchmark, warp, step), so runs are
+// reproducible bit-for-bit with no shared mutable state beyond per-warp
+// counters.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/plutus-gpu/plutus/internal/geom"
+	"github.com/plutus-gpu/plutus/internal/gpusim"
+)
+
+// Pattern is a benchmark's dominant memory-access pattern.
+type Pattern int
+
+const (
+	// Streaming: fully-coalesced sequential block accesses.
+	Streaming Pattern = iota
+	// Strided: coalesced but with a large inter-access stride.
+	Strided
+	// Stencil: streaming plus neighbouring-row reuse.
+	Stencil
+	// Random: uniform random sectors, partially coalesced.
+	Random
+	// GraphIrregular: skewed (hot-vertex) scatter with mostly
+	// uncoalesced single-word accesses — the paper's worst case.
+	GraphIrregular
+)
+
+// String names the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case Streaming:
+		return "streaming"
+	case Strided:
+		return "strided"
+	case Stencil:
+		return "stencil"
+	case Random:
+		return "random"
+	case GraphIrregular:
+		return "graph"
+	default:
+		return fmt.Sprintf("pattern(%d)", int(p))
+	}
+}
+
+// ValueProfile parameterises the synthetic data contents.
+type ValueProfile struct {
+	// ZeroFrac is the fraction of 32-bit words that are zero.
+	ZeroFrac float64
+	// PoolFrac is the fraction drawn from a small pool of hot values
+	// (on top of ZeroFrac).
+	PoolFrac float64
+	// PoolSize is the hot-pool cardinality.
+	PoolSize int
+	// Jitter, when true, perturbs the low 4 bits of pool values — the
+	// near-value case the paper's masked matching captures.
+	Jitter bool
+}
+
+// Spec fully describes one synthetic benchmark.
+type Spec struct {
+	Name  string
+	Suite string
+	// Intensity is "high" or "medium" (the paper's two selection bins).
+	Intensity string
+
+	Warps        int
+	InstsPerWarp int
+	// Footprint is the data working set in bytes.
+	Footprint uint64
+	Pattern   Pattern
+	// MemFrac is the fraction of instructions that access memory.
+	MemFrac float64
+	// ReadFrac is the fraction of memory instructions that are loads.
+	ReadFrac float64
+	// ComputeCycles is the latency of each compute instruction.
+	ComputeCycles int
+	// ThreadsPerAccess is how many distinct words a warp touches per
+	// memory instruction (32 = fully divergent worst case).
+	ThreadsPerAccess int
+	Values           ValueProfile
+}
+
+// Validate reports spec errors.
+func (s Spec) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("workload: empty name")
+	case s.Warps < 1 || s.InstsPerWarp < 1:
+		return fmt.Errorf("workload %s: warps/insts must be positive", s.Name)
+	case s.Footprint < geom.BlockSize:
+		return fmt.Errorf("workload %s: footprint too small", s.Name)
+	case s.MemFrac < 0 || s.MemFrac > 1 || s.ReadFrac < 0 || s.ReadFrac > 1:
+		return fmt.Errorf("workload %s: fractions out of range", s.Name)
+	case s.ThreadsPerAccess < 1 || s.ThreadsPerAccess > 32:
+		return fmt.Errorf("workload %s: threads per access out of range", s.Name)
+	}
+	return nil
+}
+
+// splitmix64 is the deterministic hash behind all generator decisions.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func hash2(a, b uint64) uint64 { return splitmix64(a*0x9e3779b97f4a7c15 ^ splitmix64(b)) }
+
+// Bench is a runnable instance of a Spec; it implements gpusim.Workload.
+type Bench struct {
+	spec Spec
+	seed uint64
+	step []uint64 // per-warp instruction counter
+}
+
+// NewBench instantiates spec with a name-derived seed.
+func NewBench(spec Spec) (*Bench, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	seed := uint64(14695981039346656037)
+	for _, c := range spec.Name {
+		seed = (seed ^ uint64(c)) * 1099511628211
+	}
+	return &Bench{spec: spec, seed: seed, step: make([]uint64, spec.Warps)}, nil
+}
+
+// Spec returns the benchmark's parameters.
+func (b *Bench) Spec() Spec { return b.spec }
+
+// Name implements gpusim.Workload.
+func (b *Bench) Name() string { return b.spec.Name }
+
+// Warps implements gpusim.Workload.
+func (b *Bench) Warps() int { return b.spec.Warps }
+
+// Reset rewinds all warps (a Bench may be reused across schemes).
+func (b *Bench) Reset() {
+	for i := range b.step {
+		b.step[i] = 0
+	}
+}
+
+// Next implements gpusim.Workload.
+func (b *Bench) Next(w int) (gpusim.Inst, bool) {
+	if b.step[w] >= uint64(b.spec.InstsPerWarp) {
+		return gpusim.Inst{}, false
+	}
+	step := b.step[w]
+	b.step[w]++
+
+	h := hash2(b.seed, uint64(w)<<32|step)
+	if float64(h%1000)/1000 >= b.spec.MemFrac {
+		return gpusim.Inst{Kind: gpusim.Compute, Cycles: b.spec.ComputeCycles}, true
+	}
+	isLoad := float64(hash2(h, 1)%1000)/1000 < b.spec.ReadFrac
+	kind := gpusim.Store
+	if isLoad {
+		kind = gpusim.Load
+	}
+	return gpusim.Inst{Kind: kind, Addrs: b.addrs(w, step, isLoad)}, true
+}
+
+// addrs generates the per-thread addresses of one memory instruction.
+func (b *Bench) addrs(w int, step uint64, isLoad bool) []geom.Addr {
+	s := b.spec
+	fp := s.Footprint &^ (geom.BlockSize - 1)
+	n := s.ThreadsPerAccess
+	out := make([]geom.Addr, 0, n)
+
+	switch s.Pattern {
+	case Streaming:
+		// Warp-striped sequential blocks: warp w's i-th access touches
+		// block (w + i*warps), threads fill the block contiguously.
+		base := (uint64(w) + step*uint64(s.Warps)) * geom.BlockSize % fp
+		for t := 0; t < n; t++ {
+			out = append(out, geom.Addr(base+uint64(t*4)%geom.BlockSize))
+		}
+	case Strided:
+		stride := uint64(8 * geom.BlockSize)
+		base := (uint64(w)*geom.BlockSize + step*stride) % fp
+		for t := 0; t < n; t++ {
+			out = append(out, geom.Addr(base+uint64(t*4)%geom.BlockSize))
+		}
+	case Stencil:
+		// A row sweep with ±1-row neighbours (3-point stencil rows).
+		row := uint64(1024)
+		base := (uint64(w)*row + step*geom.BlockSize) % fp
+		for t := 0; t < n; t++ {
+			off := uint64(t*4) % geom.BlockSize
+			switch t % 3 {
+			case 0:
+				out = append(out, geom.Addr(base+off))
+			case 1:
+				out = append(out, geom.Addr((base+row+off)%fp))
+			default:
+				out = append(out, geom.Addr((base+2*row+off)%fp))
+			}
+		}
+	case Random:
+		// Uniform random sectors; threads within a warp still cluster
+		// into a few sectors (partial coalescing).
+		for t := 0; t < n; t++ {
+			h := hash2(b.seed^uint64(step), uint64(w)<<16|uint64(t/8))
+			sector := h % (fp / geom.SectorSize)
+			out = append(out, geom.Addr(sector*geom.SectorSize+uint64(t%8)*4))
+		}
+	case GraphIrregular:
+		// Skewed vertex accesses: ~20% of touches land in a hot 1/64th
+		// of the footprint (power-law-ish), threads fully divergent.
+		for t := 0; t < n; t++ {
+			h := hash2(b.seed^(uint64(step)<<20), uint64(w)<<8|uint64(t))
+			region := fp
+			base := uint64(0)
+			if h%5 == 0 {
+				region = fp / 64
+				if region < geom.BlockSize {
+					region = geom.BlockSize
+				}
+			}
+			sector := (h >> 8) % (region / geom.SectorSize)
+			out = append(out, geom.Addr(base+sector*geom.SectorSize+uint64(h>>40&7)*4))
+		}
+	}
+	return out
+}
+
+// valueAt derives a 32-bit value from the profile at a hash point.
+func (b *Bench) valueAt(h uint64) uint32 {
+	p := b.spec.Values
+	r := float64(h%10000) / 10000
+	switch {
+	case r < p.ZeroFrac:
+		return 0
+	case r < p.ZeroFrac+p.PoolFrac && p.PoolSize > 0:
+		v := uint32(hash2(b.seed, uint64(h>>32)%uint64(p.PoolSize))) &^ 0xf
+		if p.Jitter {
+			v |= uint32(h>>48) & 0xf
+		}
+		return v
+	default:
+		return uint32(splitmix64(h) | 1)
+	}
+}
+
+// MemValue implements gpusim.Workload: the initial memory image.
+func (b *Bench) MemValue(addr geom.Addr) uint32 {
+	return b.valueAt(hash2(b.seed^0xDA7A, uint64(addr)/4))
+}
+
+// StoreValue implements gpusim.Workload: stored values follow the same
+// profile (computation output resembles its input distribution).
+func (b *Bench) StoreValue(w int, addr geom.Addr) uint32 {
+	return b.valueAt(hash2(b.seed^0x5708E, uint64(addr)/4^uint64(w)<<52))
+}
+
+// --- registry ---
+
+var registry = map[string]Spec{}
+
+func register(s Spec) {
+	if _, dup := registry[s.Name]; dup {
+		panic("workload: duplicate " + s.Name)
+	}
+	registry[s.Name] = s
+}
+
+// Names lists all registered benchmarks in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get instantiates a registered benchmark.
+func Get(name string) (*Bench, error) {
+	s, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, Names())
+	}
+	return NewBench(s)
+}
+
+// MustGet is Get for tests and static tables.
+func MustGet(name string) *Bench {
+	b, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
