@@ -1,0 +1,141 @@
+// Command benchsmoke is the CI benchmark smoke-check: it sweeps a small
+// benchmark × scheme matrix at a tiny instruction budget in both
+// sequential and parallel-partition mode, verifies the two modes produce
+// bit-identical statistics, and writes a machine-readable summary
+// (wall-clock per mode, speedup, per-run stats) to a JSON file that the
+// CI pipeline uploads as an artifact.
+//
+// Exit status is nonzero if any run diverges between modes, or — when
+// -minspeedup is set — if the parallel sweep fails to beat sequential by
+// that factor.
+//
+// Usage:
+//
+//	benchsmoke -insts 1500 -out BENCH_ci.json
+//	benchsmoke -benchmarks bfs,sgemm -schemes pssm,plutus -minspeedup 1.15
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"github.com/plutus-gpu/plutus/internal/harness"
+	"github.com/plutus-gpu/plutus/internal/secmem"
+	"github.com/plutus-gpu/plutus/internal/stats"
+)
+
+const protected = 128 << 20
+
+// run is one (benchmark, scheme) comparison in the report.
+type run struct {
+	Benchmark    string      `json:"benchmark"`
+	Scheme       string      `json:"scheme"`
+	Match        bool        `json:"match"`
+	SequentialNs int64       `json:"sequential_ns"`
+	ParallelNs   int64       `json:"parallel_ns"`
+	Stats        stats.Stats `json:"stats"`
+}
+
+// report is the BENCH_ci.json schema.
+type report struct {
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	MaxInstructions uint64  `json:"max_instructions"`
+	Runs            []run   `json:"runs"`
+	SequentialNs    int64   `json:"total_sequential_ns"`
+	ParallelNs      int64   `json:"total_parallel_ns"`
+	Speedup         float64 `json:"speedup"`
+	AllMatch        bool    `json:"all_match"`
+}
+
+func main() {
+	var (
+		insts    = flag.Uint64("insts", 1500, "warp-instruction budget per run")
+		out      = flag.String("out", "BENCH_ci.json", "summary output path")
+		benches  = flag.String("benchmarks", "bfs,hotspot,sgemm,pagerank", "comma-separated benchmarks")
+		schemes  = flag.String("schemes", "nosec,pssm,plutus", "comma-separated schemes")
+		minSpeed = flag.Float64("minspeedup", 0, "fail unless parallel beats sequential by this factor (0 = report only)")
+	)
+	flag.Parse()
+
+	var scs []secmem.Config
+	for _, name := range strings.Split(*schemes, ",") {
+		sc, err := secmem.ByName(name, protected)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsmoke:", err)
+			os.Exit(1)
+		}
+		scs = append(scs, sc)
+	}
+	benchList := strings.Split(*benches, ",")
+
+	// Parallelism 1 isolates the variable under test: the only difference
+	// between the two sweeps is partition sharding inside each simulation.
+	mkRunner := func(parallel bool) *harness.Runner {
+		return harness.NewRunner(harness.Config{
+			ProtectedBytes:     protected,
+			MaxInstructions:    *insts,
+			Benchmarks:         benchList,
+			Parallelism:        1,
+			ParallelPartitions: parallel,
+		})
+	}
+	seqR, parR := mkRunner(false), mkRunner(true)
+
+	rep := report{GOMAXPROCS: runtime.GOMAXPROCS(0), MaxInstructions: *insts, AllMatch: true}
+	sweep := func(r *harness.Runner, bench string, sc secmem.Config) (*stats.Stats, int64) {
+		start := time.Now()
+		st, err := r.Run(bench, sc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsmoke:", err)
+			os.Exit(1)
+		}
+		return st, time.Since(start).Nanoseconds()
+	}
+	for _, bench := range benchList {
+		for _, sc := range scs {
+			seq, seqNs := sweep(seqR, bench, sc)
+			par, parNs := sweep(parR, bench, sc)
+			match := *seq == *par
+			rep.Runs = append(rep.Runs, run{
+				Benchmark: bench, Scheme: sc.Scheme, Match: match,
+				SequentialNs: seqNs, ParallelNs: parNs, Stats: *seq,
+			})
+			rep.SequentialNs += seqNs
+			rep.ParallelNs += parNs
+			if !match {
+				rep.AllMatch = false
+				fmt.Fprintf(os.Stderr, "benchsmoke: DIVERGENCE %s/%s:\nseq: %+v\npar: %+v\n",
+					bench, sc.Scheme, *seq, *par)
+			}
+		}
+	}
+	if rep.ParallelNs > 0 {
+		rep.Speedup = float64(rep.SequentialNs) / float64(rep.ParallelNs)
+	}
+
+	blob, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsmoke:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsmoke:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchsmoke: %d runs, seq %.2fs, par %.2fs, speedup %.2fx, match=%v -> %s\n",
+		len(rep.Runs), float64(rep.SequentialNs)/1e9, float64(rep.ParallelNs)/1e9,
+		rep.Speedup, rep.AllMatch, *out)
+
+	if !rep.AllMatch {
+		os.Exit(1)
+	}
+	if *minSpeed > 0 && rep.Speedup < *minSpeed {
+		fmt.Fprintf(os.Stderr, "benchsmoke: speedup %.2fx below required %.2fx\n", rep.Speedup, *minSpeed)
+		os.Exit(1)
+	}
+}

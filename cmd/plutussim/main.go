@@ -15,51 +15,20 @@ import (
 	"os"
 	"strings"
 
-	"github.com/plutus-gpu/plutus/internal/counters"
 	"github.com/plutus-gpu/plutus/internal/harness"
 	"github.com/plutus-gpu/plutus/internal/secmem"
 	"github.com/plutus-gpu/plutus/internal/stats"
 	"github.com/plutus-gpu/plutus/internal/workload"
 )
 
-// schemeByName resolves the scheme flag to a configuration.
-func schemeByName(name string, protected uint64) (secmem.Config, error) {
-	switch name {
-	case "nosec":
-		return secmem.Baseline(protected), nil
-	case "pssm":
-		return secmem.PSSM(protected), nil
-	case "pssm-4Bmac":
-		return secmem.PSSM4B(protected), nil
-	case "pssm+cc":
-		return secmem.CommonCtr(protected), nil
-	case "plutus":
-		return secmem.Plutus(protected), nil
-	case "plutus-V":
-		return secmem.PlutusValueOnly(protected), nil
-	case "plutus-G32":
-		return secmem.PlutusFineGrain(protected, secmem.GranAll32), nil
-	case "plutus-G32-128":
-		return secmem.PlutusFineGrain(protected, secmem.GranCtr32BMT128), nil
-	case "plutus-C2":
-		return secmem.PlutusCompact(protected, counters.Compact2Bit), nil
-	case "plutus-C3":
-		return secmem.PlutusCompact(protected, counters.Compact3Bit), nil
-	case "plutus-C3A":
-		return secmem.PlutusCompact(protected, counters.Compact3BitAdaptive), nil
-	case "plutus-notree":
-		return secmem.PlutusNoTree(protected), nil
-	}
-	return secmem.Config{}, fmt.Errorf("unknown scheme %q (try: nosec pssm pssm+cc plutus plutus-V plutus-G32 plutus-C3A plutus-notree)", name)
-}
-
 func main() {
 	var (
-		bench  = flag.String("bench", "bfs", "benchmark name (see -list)")
-		scheme = flag.String("scheme", "plutus", "security scheme")
-		insts  = flag.Uint64("insts", 20000, "warp-instruction budget")
-		volta  = flag.Bool("volta", false, "full 80-SM/32-partition Volta config (slow)")
-		list   = flag.Bool("list", false, "list benchmarks and exit")
+		bench    = flag.String("bench", "bfs", "benchmark name (see -list)")
+		scheme   = flag.String("scheme", "plutus", "security scheme")
+		insts    = flag.Uint64("insts", 20000, "warp-instruction budget")
+		volta    = flag.Bool("volta", false, "full 80-SM/32-partition Volta config (slow)")
+		parallel = flag.Bool("parallel", false, "run memory partitions on parallel goroutines (bit-identical results)")
+		list     = flag.Bool("list", false, "list benchmarks and exit")
 	)
 	flag.Parse()
 
@@ -69,16 +38,17 @@ func main() {
 	}
 
 	const protected = 128 << 20
-	sc, err := schemeByName(*scheme, protected)
+	sc, err := secmem.ByName(*scheme, protected)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "plutussim:", err)
 		os.Exit(1)
 	}
 	r := harness.NewRunner(harness.Config{
-		ProtectedBytes:  protected,
-		MaxInstructions: *insts,
-		Benchmarks:      []string{*bench},
-		FullVolta:       *volta,
+		ProtectedBytes:     protected,
+		MaxInstructions:    *insts,
+		Benchmarks:         []string{*bench},
+		FullVolta:          *volta,
+		ParallelPartitions: *parallel,
 	})
 	st, err := r.Run(*bench, sc)
 	if err != nil {

@@ -59,6 +59,16 @@ type Config struct {
 	MaxInstructions uint64
 	// MaxCycles hard-stops the simulation (0 = unlimited).
 	MaxCycles uint64
+
+	// ParallelPartitions executes each memory partition (and the SM
+	// front end) on its own goroutine, advancing them in lockstep
+	// windows of the interconnect latency (conservative PDES). Results
+	// are bit-identical to the sequential default: cross-shard messages
+	// are delivered in a canonical order that does not depend on
+	// goroutine scheduling, and no simulation state crosses partition
+	// boundaries. Speeds up single runs on multi-core hosts; sequential
+	// mode remains the reference.
+	ParallelPartitions bool
 }
 
 // DefaultVoltaConfig returns the paper's Table I configuration with the

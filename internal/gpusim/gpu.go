@@ -12,14 +12,26 @@ import (
 )
 
 // GPU is one simulated device executing one workload.
+//
+// The simulation is sharded: all SMs and warps live on one shard, and
+// each memory partition is its own shard with a private event engine.
+// Requests and responses cross the SM↔partition interconnect as
+// cycle-stamped mailbox messages, and the shards advance in lockstep
+// windows no wider than the interconnect latency (conservative PDES).
+// With Config.ParallelPartitions the shards execute on parallel
+// goroutines; either way the result is bit-identical, because message
+// delivery order is canonical and no state crosses shard boundaries.
 type GPU struct {
-	cfg   Config
-	eng   *sim.Engine
-	il    *geom.Interleaver
-	wl    Workload
-	parts []*partition
-	sms   []*smCtx
-	warps []*warpCtx
+	cfg     Config
+	cluster *sim.Cluster
+	smShard *sim.Shard
+	eng     *sim.Engine // SM-side engine (smShard's); warps schedule here
+	xbar    sim.Cycle   // effective interconnect latency (≥ 1, the lookahead)
+	il      *geom.Interleaver
+	wl      Workload
+	parts   []*partition
+	sms     []*smCtx
+	warps   []*warpCtx
 
 	issued      uint64
 	loads       uint64
@@ -28,9 +40,14 @@ type GPU struct {
 	budgetDone  bool
 }
 
+// partition is one memory-side shard. All fields are owned by the
+// partition's goroutine during a window; the SM side may only reach them
+// through mailbox messages.
 type partition struct {
 	id     int
 	gpu    *GPU
+	shard  *sim.Shard
+	eng    *sim.Engine // partition-local engine (shard's)
 	l2     *cache.Cache
 	l2data map[geom.Addr][]byte // local sector addr → plaintext
 	sec    *secmem.Engine
@@ -55,7 +72,7 @@ func (p *partition) releaseMSHRWaiters() {
 	q := p.mshrWait[:n]
 	p.mshrWait = append(p.mshrWait[:0:0], p.mshrWait[n:]...)
 	for _, fn := range q {
-		p.gpu.eng.Schedule(1, fn)
+		p.eng.Schedule(1, fn)
 	}
 }
 
@@ -86,12 +103,25 @@ func New(cfg Config, wl Workload) (*GPU, error) {
 	if err != nil {
 		return nil, err
 	}
-	g := &GPU{cfg: cfg, eng: &sim.Engine{}, il: il, wl: wl}
+	g := &GPU{cfg: cfg, il: il, wl: wl}
+	// The interconnect latency is the PDES lookahead; a zero-latency
+	// crossbar is modelled as one cycle so the window stays positive.
+	g.xbar = cfg.XbarLatency
+	if g.xbar < 1 {
+		g.xbar = 1
+	}
+	// Shard 0 is the SM side; shards 1..Partitions are the partitions.
+	g.cluster = sim.NewCluster(1+cfg.Partitions, g.xbar, cfg.ParallelPartitions)
+	g.smShard = g.cluster.Shard(0)
+	g.eng = g.smShard.Engine()
 
 	for p := 0; p < cfg.Partitions; p++ {
+		shard := g.cluster.Shard(1 + p)
 		part := &partition{
 			id:     p,
 			gpu:    g,
+			shard:  shard,
+			eng:    shard.Engine(),
 			l2data: make(map[geom.Addr][]byte),
 			st:     &stats.Stats{},
 		}
@@ -102,9 +132,9 @@ func New(cfg Config, wl Workload) (*GPU, error) {
 			Ways:      cfg.L2Ways,
 			MSHRs:     cfg.L2MSHRs,
 		})
-		part.ch = dram.MustNew(cfg.DRAM, g.eng, &part.st.Traffic)
+		part.ch = dram.MustNew(cfg.DRAM, part.eng, &part.st.Traffic)
 		sec := cfg.Sec
-		part.sec, err = secmem.New(sec, g.eng, part.ch, part.st)
+		part.sec, err = secmem.New(sec, part.eng, part.ch, part.st)
 		if err != nil {
 			return nil, err
 		}
@@ -138,31 +168,38 @@ func New(cfg Config, wl Workload) (*GPU, error) {
 }
 
 // Run executes the workload to completion (or budget exhaustion) and
-// returns the merged statistics.
+// returns the merged statistics. Per-shard statistics are merged in
+// partition order at the end, so the result is deterministic regardless
+// of execution mode.
 func (g *GPU) Run() *stats.Stats {
+	defer g.cluster.Close()
 	for _, w := range g.warps {
 		w := w
 		g.eng.Schedule(0, func() { g.fetch(w) })
 	}
 	// 2^34 events is far beyond any legitimate run; treat as livelock.
-	if !g.eng.Drain(1 << 34) {
+	if !g.cluster.Run(1 << 34) {
 		panic("gpusim: event livelock")
 	}
 
-	// Final writeback accounting: flush dirty L2 and metadata.
+	// Final writeback accounting: flush dirty L2, then dirty metadata.
+	// Each flush runs on its partition's own shard (and hence in
+	// parallel when enabled), with a full drain between the phases.
 	for _, p := range g.parts {
-		p.flushL2()
+		p := p
+		p.eng.Schedule(0, func() { p.flushL2() })
 	}
-	g.eng.Drain(1 << 30)
+	g.cluster.Run(1 << 30)
 	for _, p := range g.parts {
-		p.sec.FlushDirtyMetadata()
+		p := p
+		p.eng.Schedule(0, func() { p.sec.FlushDirtyMetadata() })
 	}
-	g.eng.Drain(1 << 30)
+	g.cluster.Run(1 << 30)
 
 	out := &stats.Stats{
 		Benchmark:    g.wl.Name(),
 		Scheme:       g.cfg.Sec.Scheme,
-		Cycles:       uint64(g.eng.Now()),
+		Cycles:       uint64(g.cluster.LastEventAt()),
 		Instructions: g.issued,
 		MemInsts:     g.loads + g.stores,
 		LoadInsts:    g.loads,
@@ -276,14 +313,18 @@ func coalesce(addrs []geom.Addr) []geom.Addr {
 	return out
 }
 
-// routeLoad sends a load sector request across the interconnect.
+// routeLoad sends a load sector request across the interconnect: a
+// mailbox message to the owning partition's shard, whose response is a
+// mailbox message back to the SM shard. The closure that updates warp
+// state is created here and executes on the SM shard only; the partition
+// merely carries it.
 func (g *GPU) routeLoad(w *warpCtx, lc *loadCtx, sector geom.Addr) {
 	p := g.parts[g.il.Partition(sector)]
 	local := g.il.LocalAddr(sector)
-	g.eng.Schedule(g.cfg.XbarLatency, func() {
+	g.smShard.Send(p.shard, g.xbar, func() {
 		p.load(local, func() {
 			// Response crosses back to the SM.
-			g.eng.Schedule(g.cfg.XbarLatency, func() {
+			p.shard.Send(g.smShard, g.xbar, func() {
 				lc.remaining--
 				if lc.remaining == 0 {
 					w.outstanding--
@@ -298,7 +339,8 @@ func (g *GPU) routeLoad(w *warpCtx, lc *loadCtx, sector geom.Addr) {
 }
 
 // routeStore sends a store across the interconnect, materializing the
-// sector's store data from the workload.
+// sector's store data from the workload on the SM side (Workload.Next
+// and StoreValue are only ever called from the SM shard).
 func (g *GPU) routeStore(w *warpCtx, sector geom.Addr) {
 	p := g.parts[g.il.Partition(sector)]
 	local := g.il.LocalAddr(sector)
@@ -310,19 +352,18 @@ func (g *GPU) routeStore(w *warpCtx, sector geom.Addr) {
 		data[k*4+2] = byte(v >> 16)
 		data[k*4+3] = byte(v >> 24)
 	}
-	g.eng.Schedule(g.cfg.XbarLatency, func() { p.store(local, data) })
+	g.smShard.Send(p.shard, g.xbar, func() { p.store(local, data) })
 }
 
 // load services a load sector at the partition's L2.
 func (p *partition) load(local geom.Addr, respond func()) {
-	g := p.gpu
-	now := g.eng.Now()
+	now := p.eng.Now()
 	t := now
 	if p.l2Free > t {
 		t = p.l2Free
 	}
 	p.l2Free = t + 1
-	g.eng.Schedule(t-now, func() { p.l2Load(local, respond) })
+	p.eng.Schedule(t-now, func() { p.l2Load(local, respond) })
 }
 
 func (p *partition) l2Load(local geom.Addr, respond func()) {
@@ -331,7 +372,7 @@ func (p *partition) l2Load(local geom.Addr, respond func()) {
 	out, need, m := p.l2.Lookup(local, mask, false, nil)
 	switch out {
 	case cache.Hit:
-		g.eng.Schedule(g.cfg.L2HitLatency, respond)
+		p.eng.Schedule(g.cfg.L2HitLatency, respond)
 	case cache.MissMerged:
 		m.AddWaiter(respond)
 	case cache.Miss:
@@ -360,14 +401,13 @@ func (p *partition) l2Load(local geom.Addr, respond func()) {
 // store services a store sector: write-allocate without fetch (coalesced
 // GPU stores cover whole sectors).
 func (p *partition) store(local geom.Addr, data []byte) {
-	g := p.gpu
-	now := g.eng.Now()
+	now := p.eng.Now()
 	t := now
 	if p.l2Free > t {
 		t = p.l2Free
 	}
 	p.l2Free = t + 1
-	g.eng.Schedule(t-now, func() {
+	p.eng.Schedule(t-now, func() {
 		mask := geom.MaskFor(local)
 		// Stores must not allocate MSHRs (nothing will ever fill them):
 		// hit → mark dirty in place; miss → write-allocate without fetch
@@ -414,21 +454,27 @@ func (p *partition) flushL2() {
 	})
 }
 
-// RunDebug is Run with a progress callback every 2^22 events (diagnostic
-// aid; not part of the stable API).
+// RunDebug is Run with a progress callback roughly every 2^20 events
+// (diagnostic aid; not part of the stable API).
 func (g *GPU) RunDebug(progress func(events, now, issued uint64, active int)) *stats.Stats {
+	defer g.cluster.Close()
 	for _, w := range g.warps {
 		w := w
 		g.eng.Schedule(0, func() { g.fetch(w) })
 	}
-	var n uint64
-	for g.eng.Step() {
-		n++
-		if n%(1<<20) == 0 && progress != nil {
-			progress(n, uint64(g.eng.Now()), g.issued, g.activeWarps)
+	var n, lastReport uint64
+	for {
+		ran := g.cluster.RunWindow()
+		if ran == 0 {
+			break
+		}
+		n += ran
+		if n-lastReport >= 1<<20 && progress != nil {
+			lastReport = n
+			progress(n, uint64(g.cluster.LastEventAt()), g.issued, g.activeWarps)
 		}
 	}
-	return &stats.Stats{Cycles: uint64(g.eng.Now()), Instructions: g.issued}
+	return &stats.Stats{Cycles: uint64(g.cluster.LastEventAt()), Instructions: g.issued}
 }
 
 // DebugHungWarps reports warps still active with outstanding sectors

@@ -27,8 +27,7 @@ func (s *scriptWorkload) Next(w int) (Inst, bool) {
 	if s.pos[w] >= len(s.script) {
 		return Inst{}, false
 	}
-	inst := s.script[w%1]
-	inst = s.script[s.pos[w]]
+	inst := s.script[s.pos[w]]
 	s.pos[w]++
 	return inst, true
 }

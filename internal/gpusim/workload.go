@@ -29,6 +29,13 @@ type Inst struct {
 // Workload generates the instruction streams and data contents of one
 // benchmark. Implementations live in the workload package; the interface
 // is defined here so the simulator has no dependency on them.
+//
+// Concurrency contract: Next and StoreValue are only ever called from
+// the SM shard and may keep per-warp state, but MemValue must be safe
+// for concurrent calls and depend only on its argument — with
+// Config.ParallelPartitions every partition shard lazily materializes
+// its memory image through MemValue from its own goroutine. All
+// implementations in this repo derive MemValue from a pure hash.
 type Workload interface {
 	// Name identifies the benchmark in reports.
 	Name() string
@@ -39,6 +46,7 @@ type Workload interface {
 	// MemValue gives the initial 32-bit plaintext at global address addr
 	// (addr is 4-byte aligned). This defines the device memory image and
 	// hence the value-locality profile the paper's Fig. 9 studies.
+	// It must be pure (see the interface comment).
 	MemValue(addr geom.Addr) uint32
 	// StoreValue gives the value warp w stores at addr (4-byte aligned).
 	StoreValue(w int, addr geom.Addr) uint32

@@ -8,7 +8,6 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
-	"sort"
 	"sync"
 
 	"github.com/plutus-gpu/plutus/internal/gpusim"
@@ -33,6 +32,11 @@ type Config struct {
 	// FullVolta switches from the scaled 8-partition GPU to the paper's
 	// full 80-SM / 32-partition configuration (much slower).
 	FullVolta bool
+	// ParallelPartitions runs each simulation's memory partitions on
+	// their own goroutines (see gpusim.Config.ParallelPartitions).
+	// Results are bit-identical to sequential mode, so the run cache is
+	// shared between the two.
+	ParallelPartitions bool
 }
 
 // DefaultConfig returns the sweep configuration used by cmd/experiments.
@@ -61,12 +65,23 @@ func (c *Config) normalize() {
 	}
 }
 
+// runEntry is a single-flight cache slot: the first goroutine to claim
+// a key executes the simulation inside once; every later caller blocks
+// on the same once and reads the settled result. Unlike the previous
+// double-checked map of finished results, concurrent requests for the
+// same (benchmark, scheme) can never run the simulation twice.
+type runEntry struct {
+	once sync.Once
+	st   *stats.Stats
+	err  error
+}
+
 // Runner executes and caches simulation runs.
 type Runner struct {
 	cfg Config
 
 	mu    sync.Mutex
-	cache map[string]*stats.Stats
+	cache map[string]*runEntry
 	sem   chan struct{}
 }
 
@@ -78,7 +93,7 @@ func NewRunner(cfg Config) *Runner {
 	debug.SetGCPercent(600)
 	return &Runner{
 		cfg:   cfg,
-		cache: make(map[string]*stats.Stats),
+		cache: make(map[string]*runEntry),
 		sem:   make(chan struct{}, cfg.Parallelism),
 	}
 }
@@ -91,27 +106,28 @@ func (r *Runner) key(bench string, sc secmem.Config) string {
 }
 
 // Run simulates one (benchmark, scheme) pair, serving repeats from cache.
+// Concurrent calls for the same pair coalesce into a single simulation.
 func (r *Runner) Run(bench string, sc secmem.Config) (*stats.Stats, error) {
 	sc.ProtectedBytes = r.cfg.ProtectedBytes
 	k := r.key(bench, sc)
 	r.mu.Lock()
-	if st, ok := r.cache[k]; ok {
-		r.mu.Unlock()
-		return st, nil
+	e, ok := r.cache[k]
+	if !ok {
+		e = &runEntry{}
+		r.cache[k] = e
 	}
 	r.mu.Unlock()
 
-	r.sem <- struct{}{}
-	defer func() { <-r.sem }()
+	e.once.Do(func() {
+		r.sem <- struct{}{}
+		defer func() { <-r.sem }()
+		e.st, e.err = r.simulate(bench, sc)
+	})
+	return e.st, e.err
+}
 
-	// Re-check: another goroutine may have completed it meanwhile.
-	r.mu.Lock()
-	if st, ok := r.cache[k]; ok {
-		r.mu.Unlock()
-		return st, nil
-	}
-	r.mu.Unlock()
-
+// simulate executes one uncached run.
+func (r *Runner) simulate(bench string, sc secmem.Config) (*stats.Stats, error) {
 	wl, err := workload.Get(bench)
 	if err != nil {
 		return nil, err
@@ -124,6 +140,7 @@ func (r *Runner) Run(bench string, sc secmem.Config) (*stats.Stats, error) {
 	}
 	gcfg.Sec.ProtectedBytes = r.cfg.ProtectedBytes
 	gcfg.MaxInstructions = r.cfg.MaxInstructions
+	gcfg.ParallelPartitions = r.cfg.ParallelPartitions
 	g, err := gpusim.New(gcfg, wl)
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s/%s: %w", bench, sc.Scheme, err)
@@ -132,10 +149,6 @@ func (r *Runner) Run(bench string, sc secmem.Config) (*stats.Stats, error) {
 	if st.Sec.TamperDetected != 0 || st.Sec.ReplayDetected != 0 {
 		return nil, fmt.Errorf("harness: %s/%s: false security alarms: %+v", bench, sc.Scheme, st.Sec)
 	}
-
-	r.mu.Lock()
-	r.cache[k] = st
-	r.mu.Unlock()
 	return st, nil
 }
 
@@ -235,11 +248,4 @@ func (r *Runner) CompareSchemes(a, b secmem.Config) (*Speedup, error) {
 	out.Mean = stats.GeoMean(ratios)
 	out.TrafficMean = stats.GeoMean(traffic)
 	return out, nil
-}
-
-// sortedBenchNames returns the runner's benchmarks sorted (stable tables).
-func (r *Runner) sortedBenchNames() []string {
-	out := append([]string(nil), r.cfg.Benchmarks...)
-	sort.Strings(out)
-	return out
 }

@@ -2,9 +2,11 @@ package harness
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"github.com/plutus-gpu/plutus/internal/secmem"
+	"github.com/plutus-gpu/plutus/internal/stats"
 )
 
 // tinyConfig keeps harness tests fast: two benchmarks, small budget.
@@ -29,6 +31,54 @@ func TestRunnerCaches(t *testing.T) {
 	}
 	if a != b {
 		t.Fatal("identical runs not served from cache")
+	}
+}
+
+// Concurrent requests for one (benchmark, scheme) pair must coalesce
+// into a single simulation: every caller gets the same *stats.Stats
+// (each execution allocates a fresh one, so pointer identity proves the
+// run happened exactly once). The pre-singleflight cache could run the
+// same pair several times under contention.
+func TestRunnerCoalescesConcurrentRuns(t *testing.T) {
+	r := NewRunner(tinyConfig())
+	const callers = 8
+	got := make([]*stats.Stats, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := r.Run("bfs", secmem.Plutus(128<<20))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i] = st
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if got[i] != got[0] {
+			t.Fatalf("caller %d got a distinct result — simulation ran more than once", i)
+		}
+	}
+}
+
+// A parallel-partition runner must produce the exact same numbers as a
+// sequential one — the cache key deliberately ignores the mode.
+func TestRunnerParallelMatchesSequential(t *testing.T) {
+	seqCfg, parCfg := tinyConfig(), tinyConfig()
+	parCfg.ParallelPartitions = true
+	seq, err := NewRunner(seqCfg).Run("bfs", secmem.Plutus(128<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewRunner(parCfg).Run("bfs", secmem.Plutus(128<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *seq != *par {
+		t.Fatalf("parallel harness run diverged:\nseq: %+v\npar: %+v", *seq, *par)
 	}
 }
 

@@ -277,6 +277,38 @@ func PlutusNoTree(protected uint64) Config {
 	return c
 }
 
+// ByName resolves a command-line scheme name to its canonical
+// configuration (the names cmd/plutussim and cmd/benchsmoke accept).
+func ByName(name string, protected uint64) (Config, error) {
+	switch name {
+	case "nosec":
+		return Baseline(protected), nil
+	case "pssm":
+		return PSSM(protected), nil
+	case "pssm-4Bmac":
+		return PSSM4B(protected), nil
+	case "pssm+cc":
+		return CommonCtr(protected), nil
+	case "plutus":
+		return Plutus(protected), nil
+	case "plutus-V":
+		return PlutusValueOnly(protected), nil
+	case "plutus-G32":
+		return PlutusFineGrain(protected, GranAll32), nil
+	case "plutus-G32-128":
+		return PlutusFineGrain(protected, GranCtr32BMT128), nil
+	case "plutus-C2":
+		return PlutusCompact(protected, counters.Compact2Bit), nil
+	case "plutus-C3":
+		return PlutusCompact(protected, counters.Compact3Bit), nil
+	case "plutus-C3A":
+		return PlutusCompact(protected, counters.Compact3BitAdaptive), nil
+	case "plutus-notree":
+		return PlutusNoTree(protected), nil
+	}
+	return Config{}, fmt.Errorf("unknown scheme %q (try: nosec pssm pssm+cc plutus plutus-V plutus-G32 plutus-C3A plutus-notree)", name)
+}
+
 // keys derives the distinct engine keys from the config key material.
 func (c *Config) keys() (enc [32]byte, mac siphash.Key, tree siphash.Key) {
 	enc = c.Key

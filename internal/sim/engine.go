@@ -3,10 +3,13 @@
 // keyed by cycle, with FIFO ordering among events scheduled for the same
 // cycle.
 //
-// All model components express time by scheduling closures. The kernel is
+// All model components express time by scheduling closures. Each Engine is
 // single-threaded by design — determinism matters more than parallel
 // speed for reproducing the paper's figures, and runs are repeatable
-// bit-for-bit for a given seed.
+// bit-for-bit for a given seed. For parallel execution the Cluster type
+// (shard.go) advances several Engines in lockstep windows with
+// deterministic cross-engine message delivery, so sharded runs stay
+// bit-identical to single-threaded ones.
 package sim
 
 import "container/heap"
@@ -36,12 +39,18 @@ func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h 
 // Engine is the event queue. The zero value is ready to use.
 type Engine struct {
 	now    Cycle
+	last   Cycle
 	seq    uint64
 	events eventHeap
 }
 
 // Now returns the current simulated cycle.
 func (e *Engine) Now() Cycle { return e.now }
+
+// LastEventAt returns the cycle of the most recently executed event
+// (zero if none ran). Unlike Now, it never advances on idle horizons, so
+// it reports the true end of activity in windowed (sharded) execution.
+func (e *Engine) LastEventAt() Cycle { return e.last }
 
 // Schedule runs fn after delay cycles. A delay of zero runs fn later in
 // the current cycle, after already-queued same-cycle events.
@@ -50,8 +59,28 @@ func (e *Engine) Schedule(delay Cycle, fn func()) {
 	heap.Push(&e.events, event{at: e.now + delay, seq: e.seq, fn: fn})
 }
 
+// ScheduleAt runs fn at absolute cycle at, which must not lie in the
+// past. Among events at the same cycle it runs after everything already
+// queued (same FIFO rule as Schedule). Cross-shard message delivery uses
+// it to inject mail stamped with absolute delivery cycles.
+func (e *Engine) ScheduleAt(at Cycle, fn func()) {
+	if at < e.now {
+		panic("sim: ScheduleAt in the past (causality violation)")
+	}
+	e.Schedule(at-e.now, fn)
+}
+
 // Pending returns the number of queued events.
 func (e *Engine) Pending() int { return len(e.events) }
+
+// NextAt returns the cycle of the earliest queued event; ok is false if
+// the queue is empty.
+func (e *Engine) NextAt() (at Cycle, ok bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].at, true
+}
 
 // Step executes the earliest event, advancing time to it. It reports
 // whether an event was executed.
@@ -61,6 +90,7 @@ func (e *Engine) Step() bool {
 	}
 	ev := heap.Pop(&e.events).(event)
 	e.now = ev.at
+	e.last = ev.at
 	ev.fn()
 	return true
 }

@@ -75,6 +75,74 @@ func TestDrainBounded(t *testing.T) {
 	}
 }
 
+// Same-cycle FIFO must hold across Schedule(0, …) chains: an event that
+// enqueues zero-delay work runs that work after every event already
+// queued for the cycle, and chains of zero-delay events preserve their
+// enqueue order. The sharded mode leans on this to keep the L2-bank and
+// issue-slot ladders deterministic.
+func TestScheduleZeroChainFIFO(t *testing.T) {
+	var e Engine
+	var order []string
+	e.Schedule(5, func() {
+		order = append(order, "a")
+		e.Schedule(0, func() {
+			order = append(order, "a0")
+			e.Schedule(0, func() { order = append(order, "a00") })
+		})
+		e.Schedule(0, func() { order = append(order, "a1") })
+	})
+	e.Schedule(5, func() { order = append(order, "b") })
+	e.Drain(0)
+	want := []string{"a", "b", "a0", "a1", "a00"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 5 || e.LastEventAt() != 5 {
+		t.Errorf("Now/LastEventAt = %d/%d, want 5/5", e.Now(), e.LastEventAt())
+	}
+}
+
+func TestScheduleAt(t *testing.T) {
+	var e Engine
+	var at []Cycle
+	e.ScheduleAt(7, func() { at = append(at, e.Now()) })
+	e.Schedule(7, func() { at = append(at, e.Now()+100) }) // queued later, same cycle: runs second
+	e.Drain(0)
+	if len(at) != 2 || at[0] != 7 || at[1] != 107 {
+		t.Fatalf("ScheduleAt ordering = %v, want [7 107]", at)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ScheduleAt in the past did not panic")
+		}
+	}()
+	e.ScheduleAt(3, func() {})
+}
+
+func TestNextAtAndLastEventAt(t *testing.T) {
+	var e Engine
+	if _, ok := e.NextAt(); ok {
+		t.Error("empty engine reported a next event")
+	}
+	if e.LastEventAt() != 0 {
+		t.Errorf("fresh engine LastEventAt = %d", e.LastEventAt())
+	}
+	e.Schedule(9, func() {})
+	if at, ok := e.NextAt(); !ok || at != 9 {
+		t.Errorf("NextAt = %d,%v, want 9,true", at, ok)
+	}
+	e.Drain(0)
+	e.RunUntil(50) // idle horizon advance must not move LastEventAt
+	if e.LastEventAt() != 9 || e.Now() != 50 {
+		t.Errorf("LastEventAt/Now = %d/%d, want 9/50", e.LastEventAt(), e.Now())
+	}
+}
+
 func TestCascadedScheduling(t *testing.T) {
 	var e Engine
 	var times []Cycle

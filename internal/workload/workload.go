@@ -138,14 +138,26 @@ type Bench struct {
 
 // NewBench instantiates spec with a name-derived seed.
 func NewBench(spec Spec) (*Bench, error) {
+	return NewBenchSeeded(spec, 0)
+}
+
+// NewBenchSeeded instantiates spec with the name-derived seed perturbed
+// by seed (zero leaves it unchanged, matching NewBench). Distinct seeds
+// give statistically independent instruction streams and memory images
+// with identical workload characteristics — the determinism tests sweep
+// several to rule out luck in one particular event interleaving.
+func NewBenchSeeded(spec Spec, seed uint64) (*Bench, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	seed := uint64(14695981039346656037)
+	s := uint64(14695981039346656037)
 	for _, c := range spec.Name {
-		seed = (seed ^ uint64(c)) * 1099511628211
+		s = (s ^ uint64(c)) * 1099511628211
 	}
-	return &Bench{spec: spec, seed: seed, step: make([]uint64, spec.Warps)}, nil
+	if seed != 0 {
+		s ^= splitmix64(seed)
+	}
+	return &Bench{spec: spec, seed: s, step: make([]uint64, spec.Warps)}, nil
 }
 
 // Spec returns the benchmark's parameters.
@@ -300,11 +312,17 @@ func Names() []string {
 
 // Get instantiates a registered benchmark.
 func Get(name string) (*Bench, error) {
+	return GetSeeded(name, 0)
+}
+
+// GetSeeded instantiates a registered benchmark with a perturbed seed
+// (zero matches Get); see NewBenchSeeded.
+func GetSeeded(name string, seed uint64) (*Bench, error) {
 	s, ok := registry[name]
 	if !ok {
 		return nil, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, Names())
 	}
-	return NewBench(s)
+	return NewBenchSeeded(s, seed)
 }
 
 // MustGet is Get for tests and static tables.

@@ -1,0 +1,8 @@
+//go:build race
+
+package plutus_test
+
+// raceEnabled reports whether the race detector is compiled in; the
+// wall-clock speedup test skips under it (instrumentation distorts the
+// sequential/parallel timing ratio).
+const raceEnabled = true
