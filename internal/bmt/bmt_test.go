@@ -1,6 +1,7 @@
 package bmt
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -170,7 +171,7 @@ func TestUpdateIsolationProperty(t *testing.T) {
 		tr.SetUnitHash(ua, h)
 		return tr.UnitHash(ub) == before && tr.VerifyUnit(ub, before)
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(1))}); err != nil {
 		t.Error(err)
 	}
 }

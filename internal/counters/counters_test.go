@@ -1,6 +1,7 @@
 package counters
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -255,7 +256,7 @@ func TestCompactConsistencyProperty(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(1))}); err != nil {
 		t.Error(err)
 	}
 }

@@ -1,0 +1,54 @@
+package counters
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// The overflow callback feeds the secure-memory engine's re-encryption
+// schedule, so its sector list must be deterministic: pin that sectors
+// arrive in ascending order covering exactly the overflowed group, and
+// that the full callback sequence is identical across runs. (The
+// implementation builds the list by index over a slice, not by ranging
+// a map — simlint's maporder analyzer guards it staying that way.)
+func TestOverflowCallbackDeterministic(t *testing.T) {
+	cfg := SplitConfig{MinorBits: 2, GroupSize: 4}
+
+	type event struct {
+		group   uint64
+		sectors []uint64
+	}
+	run := func(seed int64) []event {
+		s := MustSplitStore(cfg)
+		var events []event
+		s.OnOverflow = func(gi uint64, sectors []uint64) {
+			events = append(events, event{gi, append([]uint64(nil), sectors...)})
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 2000; i++ {
+			s.Increment(uint64(rng.Intn(64)))
+		}
+		return events
+	}
+
+	events := run(7)
+	if len(events) == 0 {
+		t.Fatal("workload produced no overflows; increase iterations")
+	}
+	for _, ev := range events {
+		base := ev.group * uint64(cfg.GroupSize)
+		if len(ev.sectors) != cfg.GroupSize {
+			t.Fatalf("group %d: callback got %d sectors, want %d", ev.group, len(ev.sectors), cfg.GroupSize)
+		}
+		for k, sec := range ev.sectors {
+			if sec != base+uint64(k) {
+				t.Fatalf("group %d: sectors[%d] = %d, want %d (ascending, gap-free)", ev.group, k, sec, base+uint64(k))
+			}
+		}
+	}
+
+	if again := run(7); !reflect.DeepEqual(events, again) {
+		t.Error("identical workloads produced different overflow sequences")
+	}
+}

@@ -2,6 +2,7 @@ package siphash
 
 import (
 	"encoding/binary"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -103,7 +104,7 @@ func TestBitFlipChangesTag(t *testing.T) {
 		msg[b/8] ^= 1 << (b % 8)
 		return Sum64(k, msg[:]) != orig
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(1))}); err != nil {
 		t.Error(err)
 	}
 }

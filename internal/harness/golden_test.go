@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/plutus-gpu/plutus/internal/secmem"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// csvHeader is the frozen output schema of WriteCSV. Changing it is a
+// breaking change for downstream plotting scripts and must show up in
+// review as a diff of this constant, not as silent drift.
+const csvHeader = "benchmark,scheme,instructions,cycles,ipc," +
+	"data_bytes,counter_bytes,mac_bytes,bmt_bytes," +
+	"cctr_bytes,cbmt_bytes,meta_bytes," +
+	"value_verified,mac_verified,mac_skipped,power"
+
+// emitCSV runs a fresh Runner (fresh cache, fresh engine state) and
+// returns the full CSV text.
+func emitCSV(t *testing.T) string {
+	t.Helper()
+	r := NewRunner(tinyConfig())
+	var buf strings.Builder
+	schemes := []secmem.Config{secmem.Baseline(128 << 20), secmem.PSSM(128 << 20)}
+	if err := r.WriteCSV(&buf, schemes); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestWriteCSVByteStable is the determinism contract for the harness's
+// machine-readable output: two completely independent runners must
+// produce byte-identical CSVs, and the header must match the frozen
+// schema exactly.
+func TestWriteCSVByteStable(t *testing.T) {
+	first := emitCSV(t)
+	if got := strings.SplitN(first, "\n", 2)[0]; got != csvHeader {
+		t.Errorf("CSV header drifted:\n got %q\nwant %q", got, csvHeader)
+	}
+	second := emitCSV(t)
+	if first != second {
+		t.Errorf("two fresh runs produced different CSV bytes:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+}
+
+// TestFigureTextByteStable pins the human-readable tables the same way:
+// regenerating a figure from scratch yields identical bytes.
+func TestFigureTextByteStable(t *testing.T) {
+	for _, id := range []string{"fig10", "eq1"} {
+		fig, err := FigureByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := fig.Run(NewRunner(tinyConfig()))
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		b, err := fig.Run(NewRunner(tinyConfig()))
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if a != b {
+			t.Errorf("%s: two fresh runs produced different table bytes:\n--- first ---\n%s\n--- second ---\n%s", id, a, b)
+		}
+	}
+}
+
+// TestEq1Golden diffs the simulation-free Eq. 1 table against a golden
+// file, so any change to the forgery-bound math or its formatting is an
+// explicit, reviewed artifact. Regenerate with `go test -run Eq1Golden
+// -update ./internal/harness/`.
+func TestEq1Golden(t *testing.T) {
+	out, err := Eq1Table(NewRunner(tinyConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "eq1.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if out != string(want) {
+		t.Errorf("Eq. 1 table differs from %s (regenerate with -update if intentional):\n got:\n%s\nwant:\n%s", path, out, want)
+	}
+}

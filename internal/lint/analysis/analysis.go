@@ -1,0 +1,81 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis core API. The container this repository
+// builds in has no module proxy access, so simlint (see
+// internal/lint/simlint) carries its own framework: an Analyzer runs over
+// one type-checked package and reports position-tagged diagnostics.
+//
+// The API shape deliberately mirrors x/tools so the analyzers could be
+// ported to the official framework by changing only import paths.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name is the analyzer's identifier: flag names, diagnostic prefixes
+	// and //simlint:ignore directives all use it.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run applies the check to one package and reports findings through
+	// pass.Report. It returns an error only for internal failures, not
+	// for findings.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. The driver fills it in; analyzers
+	// normally use Reportf.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// IsBuiltin reports whether fun denotes the predeclared builtin name
+// (append, make, ...), using info to reject shadowing declarations.
+func IsBuiltin(info *types.Info, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// Info returns a types.Info with every map the analyzers consult
+// allocated. Drivers must pass it (or an equivalent) to the type checker
+// before constructing a Pass.
+func Info() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}

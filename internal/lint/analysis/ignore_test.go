@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const src = `package p
+
+func f() {
+	a() // trailing code comment, not a directive
+	b() //simlint:ignore det known-benign wall clock
+	//simlint:ignore det own-line guards next line
+	c()
+	d() //simlint:ignore det
+	e() //simlint:ignore unknownname reason here
+	g() //simlint:ignore all suppress every analyzer here
+}
+`
+
+func TestSuppress(t *testing.T) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := map[string]bool{"det": true}
+
+	tf := fset.File(file.Pos())
+	at := func(line int) token.Pos { return tf.LineStart(line) }
+
+	// One "det" diagnostic per statement line.
+	var diags []Diagnostic
+	for _, line := range []int{4, 5, 7, 8, 9, 10} {
+		diags = append(diags, Diagnostic{Pos: at(line), Analyzer: "det", Message: "finding"})
+	}
+	// And one from another analyzer on the "all"-suppressed line.
+	diags = append(diags, Diagnostic{Pos: at(10), Analyzer: "other", Message: "other finding"})
+
+	out := Suppress(fset, []*ast.File{file}, valid, diags)
+
+	// Expected survivors, in position order:
+	//   line 4: no directive            -> "det" finding survives
+	//   line 5: trailing directive      -> suppressed
+	//   line 7: own-line directive      -> suppressed
+	//   line 8: malformed (no reason)   -> finding survives + malformed diag
+	//   line 9: unknown analyzer        -> finding survives + unknown diag
+	//   line 10: ignore all             -> both analyzers suppressed
+	type want struct {
+		line     int
+		analyzer string
+	}
+	wants := []want{
+		{4, "det"},
+		{8, "det"},
+		{8, "simlint"},
+		{9, "det"},
+		{9, "simlint"},
+	}
+	if len(out) != len(wants) {
+		for _, d := range out {
+			t.Logf("got %s: %s: %s", fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+		t.Fatalf("got %d diagnostics, want %d", len(out), len(wants))
+	}
+	for i, w := range wants {
+		p := fset.Position(out[i].Pos)
+		if p.Line != w.line || out[i].Analyzer != w.analyzer {
+			t.Errorf("diag %d = line %d %s, want line %d %s", i, p.Line, out[i].Analyzer, w.line, w.analyzer)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+// Package analysistest runs one analyzer over fixture packages and
+// checks its diagnostics against `// want` expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library
+// only.
+//
+// A fixture is a directory of Go files forming one package. Expectations
+// are trailing comments:
+//
+//	x := time.Now() // want `time\.Now reads the host clock`
+//
+// Each back-quoted or double-quoted token is a regexp that must match
+// exactly one diagnostic reported on that line; diagnostics without a
+// matching expectation, and expectations without a diagnostic, fail the
+// test. A want comment alone on a line refers to the previous line — for
+// violations whose own line already carries another trailing comment
+// (such as a //simlint:ignore directive under test). //simlint:ignore directives are honored before matching, so
+// fixtures can prove the escape hatch works by pairing a violation with
+// a directive and no want comment.
+//
+// Fixture imports resolve against the enclosing testdata/src tree
+// first (so fixtures can model this module's own APIs under their real
+// import paths) and fall back to compiling the standard library from
+// source.
+package analysistest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/plutus-gpu/plutus/internal/lint/analysis"
+)
+
+// Run loads the fixture package rooted at testdata/src/<pkgpath>
+// (relative to the caller's directory), runs a over it under the import
+// path pkgpath, and reports mismatches via t. The import path matters:
+// analyzers scope themselves by package path, so fixtures choose paths
+// inside or outside the sim-critical set to exercise both sides.
+func Run(t *testing.T, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := &fixtureLoader{
+		root:  root,
+		fset:  token.NewFileSet(),
+		cache: make(map[string]*loaded),
+	}
+	ld.fallback = importer.ForCompiler(ld.fset, "source", nil)
+
+	pkg, err := ld.load(pkgpath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgpath, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      ld.fset,
+		Files:     pkg.files,
+		Pkg:       pkg.pkg,
+		TypesInfo: pkg.info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+	diags = analysis.Suppress(ld.fset, pkg.files, map[string]bool{a.Name: true}, diags)
+
+	check(t, ld.fset, pkg.files, diags)
+}
+
+type loaded struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// fixtureLoader resolves import paths under testdata/src, falling back
+// to the source importer for everything else (the standard library).
+type fixtureLoader struct {
+	root     string
+	fset     *token.FileSet
+	cache    map[string]*loaded
+	fallback types.Importer
+}
+
+func (l *fixtureLoader) load(path string) (*loaded, error) {
+	if p, ok := l.cache[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := analysis.Info()
+	conf := types.Config{Importer: (*fixtureImporter)(l)}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	p := &loaded{pkg: pkg, files: files, info: info}
+	l.cache[path] = p
+	return p, nil
+}
+
+// fixtureImporter adapts fixtureLoader to types.Importer.
+type fixtureImporter fixtureLoader
+
+func (i *fixtureImporter) Import(path string) (*types.Package, error) {
+	l := (*fixtureLoader)(i)
+	if st, err := os.Stat(filepath.Join(l.root, filepath.FromSlash(path))); err == nil && st.IsDir() {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.pkg, nil
+	}
+	return l.fallback.Import(path)
+}
+
+// expectation is one `// want` token.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantToken = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		codeLines := make(map[int]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n.(type) {
+			case nil, *ast.Comment, *ast.CommentGroup:
+				return false
+			}
+			codeLines[fset.Position(n.Pos()).Line] = true
+			return true
+		})
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 || strings.TrimSpace(text[:idx]) != "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				line := pos.Line
+				if !codeLines[line] {
+					line-- // own-line want refers to the previous line
+				}
+				for _, m := range wantToken.FindAllStringSubmatch(text[idx+len("want "):], -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := parseWants(t, fset, files)
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == p.Filename && w.line == p.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", p, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}

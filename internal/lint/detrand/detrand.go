@@ -1,0 +1,156 @@
+// Package detrand forbids wall-clock and process-entropy sources in
+// sim-critical packages.
+//
+// Simulated time is sim.Cycle, advanced only by the event engine; any
+// read of host time (time.Now, time.Since, timers) or of an unseeded
+// random stream (the global math/rand functions, crypto/rand,
+// testing/quick's default generator) makes a run depend on when and
+// where it executed, silently breaking the bit-identical parallel ==
+// sequential contract that PR 1's test matrix enforces. Randomness used
+// by workload generators must come from a seeded *rand.Rand plumbed out
+// of the configuration.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/plutus-gpu/plutus/internal/lint/analysis"
+	"github.com/plutus-gpu/plutus/internal/lint/scope"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: "forbid wall-clock reads and unseeded randomness in sim-critical packages; " +
+		"simulated time is sim.Cycle and randomness must be a seeded *rand.Rand from config",
+	Run: run,
+}
+
+// clockFuncs are the time package functions that observe or depend on
+// the host clock. Pure types and constructors of constants
+// (time.Duration arithmetic, time.Unix on a fixed stamp) stay legal.
+var clockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// seededConstructors are the math/rand and math/rand/v2 package-level
+// functions that *build* generators rather than draw from the implicit
+// global one. Everything else at package scope draws from a stream
+// seeded off process entropy.
+var seededConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !scope.DetRand(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkSelector(pass, n)
+			case *ast.CallExpr:
+				checkQuick(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// pkgOf resolves sel's qualifier to an imported package, or nil.
+func pkgOf(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Package {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return nil
+	}
+	return pn.Imported()
+}
+
+func checkSelector(pass *analysis.Pass, sel *ast.SelectorExpr) {
+	pkg := pkgOf(pass, sel)
+	if pkg == nil {
+		return
+	}
+	name := sel.Sel.Name
+	switch pkg.Path() {
+	case "time":
+		if clockFuncs[name] {
+			pass.Reportf(sel.Pos(),
+				"time.%s reads the host clock in sim-critical package %s; simulated time is sim.Cycle (engine.Now())",
+				name, scope.Norm(pass.Pkg.Path()))
+		}
+	case "math/rand", "math/rand/v2":
+		if _, isFunc := pass.TypesInfo.Uses[sel.Sel].(*types.Func); !isFunc {
+			return // types like rand.Rand, rand.Source
+		}
+		if seededConstructors[name] {
+			return
+		}
+		pass.Reportf(sel.Pos(),
+			"global %s.%s draws from a process-seeded stream; plumb a seeded *rand.Rand (rand.New(rand.NewSource(seed))) from config",
+			pkg.Name(), name)
+	case "crypto/rand":
+		pass.Reportf(sel.Pos(),
+			"crypto/rand is a hardware entropy source; sim-critical code must use a seeded *rand.Rand from config")
+	}
+}
+
+// checkQuick flags testing/quick calls that fall back to quick's
+// default wall-clock-seeded generator: a nil config or a config literal
+// without an explicit Rand.
+func checkQuick(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "testing/quick" {
+		return
+	}
+	if fn.Name() != "Check" && fn.Name() != "CheckEqual" {
+		return
+	}
+	cfg := call.Args[len(call.Args)-1]
+	switch cfg := cfg.(type) {
+	case *ast.Ident:
+		if cfg.Name == "nil" {
+			pass.Reportf(call.Pos(),
+				"quick.%s with a nil config seeds its generator from the wall clock; pass &quick.Config{Rand: rand.New(rand.NewSource(seed))}",
+				fn.Name())
+		}
+	case *ast.UnaryExpr:
+		lit, ok := cfg.X.(*ast.CompositeLit)
+		if !ok {
+			return
+		}
+		for _, elt := range lit.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Rand" {
+					return
+				}
+			}
+		}
+		pass.Reportf(call.Pos(),
+			"quick.%s config has no Rand field, so quick seeds its generator from the wall clock; set Rand: rand.New(rand.NewSource(seed))",
+			fn.Name())
+	}
+}

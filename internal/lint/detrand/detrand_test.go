@@ -1,0 +1,23 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"github.com/plutus-gpu/plutus/internal/lint/analysistest"
+	"github.com/plutus-gpu/plutus/internal/lint/detrand"
+)
+
+// TestSimCritical runs the analyzer over a fixture whose import path
+// places it inside the sim-critical set: clock reads, global math/rand,
+// crypto/rand and unseeded quick.Check must all be flagged, and the
+// //simlint:ignore escape hatch must suppress (well-formed directives
+// only).
+func TestSimCritical(t *testing.T) {
+	analysistest.Run(t, detrand.Analyzer, "internal/gpusim")
+}
+
+// TestOutOfScope runs the same analyzer over a cmd/ fixture, where
+// elapsed-time reporting is the package's purpose: zero findings.
+func TestOutOfScope(t *testing.T) {
+	analysistest.Run(t, detrand.Analyzer, "cmd/bench")
+}

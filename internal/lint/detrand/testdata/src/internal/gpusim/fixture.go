@@ -1,0 +1,48 @@
+// Fixture: sim-critical package (path matches internal/gpusim), so every
+// wall-clock and entropy source must be flagged.
+package gpusim
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"time"
+)
+
+func clocks() {
+	_ = time.Now()               // want `time\.Now reads the host clock`
+	t := time.Now()              // want `time\.Now reads the host clock`
+	_ = time.Since(t)            // want `time\.Since reads the host clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the host clock`
+	_ = time.After(time.Second)  // want `time\.After reads the host clock`
+
+	// Pure duration arithmetic never observes the clock: clean.
+	d := 5 * time.Second
+	_ = d.Seconds()
+	_ = time.Duration(42)
+}
+
+func entropy() {
+	_ = rand.Intn(10)    // want `global rand\.Intn draws from a process-seeded stream`
+	_ = rand.Uint64()    // want `global rand\.Uint64 draws from a process-seeded stream`
+	rand.Shuffle(3, nil) // want `global rand\.Shuffle draws from a process-seeded stream`
+	var b [8]byte
+	_, _ = crand.Read(b[:]) // want `crypto/rand is a hardware entropy source`
+
+	// The sanctioned path — a seeded generator — is clean.
+	rng := rand.New(rand.NewSource(42))
+	_ = rng.Intn(10)
+	_ = rng.Uint64()
+}
+
+func suppressed() {
+	_ = time.Now() //simlint:ignore detrand profiling hook, result never reaches sim state
+	//simlint:ignore detrand own-line directive guards the next line
+	_ = time.Now()
+}
+
+func badDirectives() {
+	_ = time.Since(time.Now()) //simlint:ignore detrand
+	// want `time\.Since reads the host clock` `time\.Now reads the host clock` `malformed directive`
+	_ = rand.Int() //simlint:ignore nosuchanalyzer because
+	// want `global rand\.Int draws` `unknown analyzer nosuchanalyzer`
+}

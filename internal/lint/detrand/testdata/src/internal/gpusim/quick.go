@@ -1,0 +1,20 @@
+package gpusim
+
+import (
+	"math/rand"
+	"testing/quick"
+)
+
+func quickChecks() {
+	f := func(x uint32) bool { return x == x }
+	_ = quick.Check(f, nil)           // want `quick\.Check with a nil config seeds its generator from the wall clock`
+	_ = quick.Check(f, &quick.Config{ // want `config has no Rand field`
+		MaxCount: 100,
+	})
+
+	// Seeded: clean.
+	_ = quick.Check(f, &quick.Config{
+		MaxCount: 100,
+		Rand:     rand.New(rand.NewSource(7)),
+	})
+}

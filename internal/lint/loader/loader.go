@@ -1,0 +1,172 @@
+// Package loader discovers and type-checks packages for the standalone
+// simlint driver.
+//
+// Discovery shells out to `go list -json`, the single source of truth
+// for which files belong to a package under the active build
+// configuration. Each listed package yields up to two analysis units:
+// the augmented unit (GoFiles + TestGoFiles, compiled together exactly
+// as `go test` compiles them) and the external test unit
+// (XTestGoFiles, package foo_test). Type information comes from the
+// source importer, so no pre-built export data is required; the
+// external test unit is checked against the augmented package so that
+// export_test.go-style helpers resolve.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one type-checked analysis unit.
+type Package struct {
+	// Path is the import path of the unit. External test units carry
+	// the "_test" suffix (e.g. ".../internal/valcache_test").
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listed mirrors the subset of `go list -json` output we consume.
+type listed struct {
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Standard     bool
+	ForTest      string
+	Error        *listError
+}
+
+type listError struct {
+	Err string
+}
+
+// Load lists patterns in dir (the module root; "" means the current
+// directory) and returns one Package per analysis unit, in `go list`
+// order with the augmented unit before its external test unit.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	// One shared source importer so dependency packages are
+	// type-checked at most once across all units.
+	src := importer.ForCompiler(fset, "source", nil)
+
+	var units []*Package
+	for _, lp := range pkgs {
+		if lp.Standard || lp.ForTest != "" {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		aug, err := check(fset, src, lp, lp.ImportPath,
+			append(append([]string{}, lp.GoFiles...), lp.TestGoFiles...))
+		if err != nil {
+			return nil, err
+		}
+		if aug != nil {
+			units = append(units, aug)
+		}
+		if len(lp.XTestGoFiles) > 0 {
+			// foo_test imports foo; resolve that import to the
+			// augmented package so test-only exports are visible.
+			var augTypes *types.Package
+			if aug != nil {
+				augTypes = aug.Types
+			}
+			imp := &selfImporter{self: lp.ImportPath, pkg: augTypes, next: src}
+			xt, err := check(fset, imp, lp, lp.ImportPath+"_test", lp.XTestGoFiles)
+			if err != nil {
+				return nil, err
+			}
+			units = append(units, xt)
+		}
+	}
+	return units, nil
+}
+
+func check(fset *token.FileSet, imp types.Importer, lp listed, path string, files []string) (*Package, error) {
+	if len(files) == 0 {
+		return nil, nil
+	}
+	var asts []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, filepath.Join(lp.Dir, f), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, af)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, asts, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", path, err)
+	}
+
+	return &Package{Path: path, Fset: fset, Files: asts, Types: tpkg, Info: info}, nil
+}
+
+// selfImporter resolves one import path to an already-checked package
+// and delegates everything else.
+type selfImporter struct {
+	self string
+	pkg  *types.Package
+	next types.Importer
+}
+
+func (s *selfImporter) Import(path string) (*types.Package, error) {
+	if path == s.self && s.pkg != nil {
+		return s.pkg, nil
+	}
+	return s.next.Import(path)
+}
+
+func goList(dir string, patterns []string) ([]listed, error) {
+	args := append([]string{"list", "-json", "-e"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []listed
+	for {
+		var lp listed
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decode go list output: %v", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}

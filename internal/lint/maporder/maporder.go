@@ -1,0 +1,256 @@
+// Package maporder flags `range` statements over maps whose bodies do
+// order-sensitive work.
+//
+// Go randomizes map iteration order per run, so a map range whose body
+// appends to an outer slice, schedules simulation events, accumulates
+// floating-point sums, or writes output produces run-dependent results.
+// The sanctioned idiom is collect-keys-then-sort (stats.SortedKeys,
+// workload.Names): an append whose destination slice is later passed to
+// a sort.* / slices.Sort* call in the same function is recognized as
+// exactly that idiom and not flagged. Order-insensitive bodies — set
+// membership tests, integer accumulation (associative and commutative),
+// writes into other maps, delete — stay legal.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/plutus-gpu/plutus/internal/lint/analysis"
+	"github.com/plutus-gpu/plutus/internal/lint/scope"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag range over a map whose body is order-sensitive (appends to an outer slice " +
+		"without sorting it, schedules events, accumulates floats, or writes output)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !scope.MapOrder(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			}
+			if body != nil {
+				checkFunc(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFunc examines every map-range inside one function body. fn is
+// the scope searched for save-the-day sort calls.
+func checkFunc(pass *analysis.Pass, fn *ast.BlockStmt) {
+	ast.Inspect(fn, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkBody(pass, fn, rs)
+		return true
+	})
+}
+
+func checkBody(pass *analysis.Pass, fn *ast.BlockStmt, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A closure defined here runs later (or not at all); its own
+			// map ranges are checked in their defining scope.
+			return false
+		case *ast.AssignStmt:
+			checkAssign(pass, fn, rs, n)
+		case *ast.CallExpr:
+			checkCall(pass, rs, n)
+		}
+		return true
+	})
+}
+
+// declaredOutside reports whether id resolves to a variable declared
+// before the range statement (so mutations inside the body survive it).
+func declaredOutside(pass *analysis.Pass, rs *ast.RangeStmt, id *ast.Ident) bool {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < rs.Pos()
+}
+
+func checkAssign(pass *analysis.Pass, fn *ast.BlockStmt, rs *ast.RangeStmt, as *ast.AssignStmt) {
+	// Float accumulation: x += v (and -=, *=, /=) reorders non-associative
+	// floating-point arithmetic across runs.
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if id, ok := as.Lhs[0].(*ast.Ident); ok && declaredOutside(pass, rs, id) {
+			if t := pass.TypesInfo.TypeOf(as.Lhs[0]); t != nil {
+				if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+					pass.Reportf(as.Pos(),
+						"float accumulation into %s inside a map range is order-sensitive; iterate sorted keys first",
+						id.Name)
+				}
+			}
+		}
+	}
+	// Appends to slices declared outside the loop record iteration order.
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !analysis.IsBuiltin(pass.TypesInfo, call.Fun, "append") {
+			continue
+		}
+		if i >= len(as.Lhs) {
+			continue
+		}
+		id, ok := as.Lhs[i].(*ast.Ident)
+		if !ok || !declaredOutside(pass, rs, id) {
+			continue
+		}
+		if sortedAfter(pass, fn, rs, id) {
+			continue // the collect-then-sort idiom
+		}
+		pass.Reportf(as.Pos(),
+			"append to %s inside a map range records random iteration order; sort %s afterwards (cf. stats.SortedKeys) or iterate sorted keys",
+			id.Name, id.Name)
+	}
+}
+
+// eventMethods are internal/sim methods that schedule or route events;
+// calling them in map order scrambles the event timeline.
+var eventMethods = map[string]bool{
+	"Schedule":   true,
+	"ScheduleAt": true,
+	"Send":       true,
+}
+
+// writerMethods order-sensitively emit bytes to an output sink.
+var writerMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+}
+
+func checkCall(pass *analysis.Pass, rs *ast.RangeStmt, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := sel.Sel.Name
+	// Package-level fmt printers.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+			if pn.Imported().Path() == "fmt" && name != "Sprintf" && name != "Sprint" && name != "Sprintln" && name != "Errorf" {
+				pass.Reportf(call.Pos(),
+					"fmt.%s inside a map range emits output in random iteration order; iterate sorted keys", name)
+			}
+			return
+		}
+	}
+	// Method calls: event scheduling on internal/sim types, and writes to
+	// any sink with an io.Writer-shaped method.
+	selInfo, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return
+	}
+	recv := selInfo.Recv()
+	if eventMethods[name] && strings.HasSuffix(pkgPathOf(recv), "internal/sim") {
+		pass.Reportf(call.Pos(),
+			"%s.%s inside a map range schedules events in random iteration order; iterate sorted keys",
+			types.TypeString(recv, types.RelativeTo(pass.Pkg)), name)
+		return
+	}
+	if writerMethods[name] {
+		pass.Reportf(call.Pos(),
+			"%s inside a map range writes output in random iteration order; iterate sorted keys", name)
+	}
+}
+
+// pkgPathOf returns the defining package path of t's named base type.
+func pkgPathOf(t types.Type) string {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			if obj := u.Obj(); obj != nil && obj.Pkg() != nil {
+				return obj.Pkg().Path()
+			}
+			return ""
+		default:
+			return ""
+		}
+	}
+}
+
+// sortFuncs maps a sorting package to its recognized functions whose
+// first argument is the slice being ordered.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Strings": true, "Ints": true, "Float64s": true,
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+// sortedAfter reports whether fn contains, after the range statement, a
+// recognized sort call whose first argument is the same variable id —
+// i.e. the loop is the collect half of collect-then-sort.
+func sortedAfter(pass *analysis.Pass, fn *ast.BlockStmt, rs *ast.RangeStmt, id *ast.Ident) bool {
+	target := pass.TypesInfo.Uses[id]
+	if target == nil {
+		target = pass.TypesInfo.Defs[id]
+	}
+	if target == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || len(call.Args) == 0 {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return !found
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return !found
+		}
+		pn, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+		if !ok || !sortFuncs[pn.Imported().Path()][sel.Sel.Name] {
+			return !found
+		}
+		if arg, ok := call.Args[0].(*ast.Ident); ok && pass.TypesInfo.Uses[arg] == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,16 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"github.com/plutus-gpu/plutus/internal/lint/analysistest"
+	"github.com/plutus-gpu/plutus/internal/lint/maporder"
+)
+
+// TestMapOrder covers the four order-sensitive body classes (appends,
+// float accumulation, output writes, event scheduling), the sanctioned
+// collect-then-sort idiom, order-insensitive set/counter bodies, and
+// the //simlint:ignore escape hatch.
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, maporder.Analyzer, "internal/secmem")
+}

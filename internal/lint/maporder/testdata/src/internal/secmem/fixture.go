@@ -1,0 +1,111 @@
+// Fixture: order-sensitive map-range bodies must be flagged; the
+// collect-then-sort idiom and order-insensitive bodies must not.
+package secmem
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"internal/sim"
+)
+
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside a map range records random iteration order`
+	}
+	return keys
+}
+
+// collectThenSort is the sanctioned idiom (cf. stats.SortedKeys): the
+// appended slice is sorted before use, so iteration order cannot leak.
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortSlice(m map[uint64]float64) []uint64 {
+	var keys []uint64
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func floatAccumulation(m map[string]float64) (float64, uint64) {
+	var sum float64
+	var n uint64
+	for _, v := range m {
+		sum += v // want `float accumulation into sum inside a map range is order-sensitive`
+		n++      // integer counting is order-insensitive: clean
+	}
+	return sum, n
+}
+
+func intAccumulation(m map[string]uint64) uint64 {
+	var total uint64
+	for _, v := range m {
+		total += v // associative and commutative: clean
+	}
+	return total
+}
+
+func output(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		fmt.Println(k)           // want `fmt\.Println inside a map range emits output in random iteration order`
+		b.WriteString(k)         // want `WriteString inside a map range writes output in random iteration order`
+		_ = fmt.Sprintf("%s", k) // pure formatting: clean
+	}
+	return b.String()
+}
+
+func schedule(eng *sim.Engine, m map[uint64]func()) {
+	for at, fn := range m {
+		eng.ScheduleAt(sim.Cycle(at), fn) // want `ScheduleAt inside a map range schedules events in random iteration order`
+	}
+}
+
+// Set-shaped bodies never observe order: membership writes, reads,
+// deletes, and ranging over slices are all clean.
+func setOps(m map[uint64]bool, other map[uint64]bool, xs []uint64) int {
+	n := 0
+	for k := range m {
+		if other[k] {
+			n++
+		}
+		other[k] = true
+		delete(other, k)
+	}
+	for _, x := range xs {
+		other[x] = true
+	}
+	return n
+}
+
+// A closure built inside the body runs later under its caller's
+// control; the range itself records nothing.
+func deferredClosure(m map[string]int) []func() string {
+	var fns []func() string // collected closures, order irrelevant here
+	for k := range m {
+		k := k
+		fns = append(fns, func() string { // want `append to fns inside a map range`
+			return k
+		})
+	}
+	return fns
+}
+
+func suppressed(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) //simlint:ignore maporder consumer sorts in the next function
+	}
+	return keys
+}

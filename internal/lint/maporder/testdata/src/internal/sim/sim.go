@@ -1,0 +1,16 @@
+// Stub of the simulator engine API, just enough surface for the
+// maporder fixtures to call event-scheduling methods on a type whose
+// package path ends in internal/sim.
+package sim
+
+// Cycle is simulated time.
+type Cycle uint64
+
+// Engine is the event engine stub.
+type Engine struct{}
+
+// Schedule enqueues fn after delay cycles.
+func (e *Engine) Schedule(delay Cycle, fn func()) {}
+
+// ScheduleAt enqueues fn at cycle at.
+func (e *Engine) ScheduleAt(at Cycle, fn func()) {}

@@ -1,0 +1,74 @@
+// Package rawconc forbids raw concurrency — go statements and channel
+// operations — in sim-critical packages outside internal/sim.
+//
+// PR 1's determinism proof rests on a single discipline: every
+// cross-shard interaction is a cycle-stamped message delivered through
+// internal/sim's mailboxes at conservative lookahead barriers. A bare
+// goroutine or channel anywhere else in the simulation reintroduces
+// scheduler-dependent ordering that no seed matrix can reliably catch.
+// Model code requests cross-partition work via sim.Shard.Send; only
+// internal/sim itself may touch goroutines and channels.
+package rawconc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/plutus-gpu/plutus/internal/lint/analysis"
+	"github.com/plutus-gpu/plutus/internal/lint/scope"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "rawconc",
+	Doc: "forbid go statements and raw channel operations in sim-critical packages outside " +
+		"internal/sim; cross-shard traffic must use the cycle-stamped mailbox path (sim.Shard.Send)",
+	Run: run,
+}
+
+const redirect = "route cross-shard work through sim.Shard.Send / sim.Cluster instead"
+
+func run(pass *analysis.Pass) error {
+	if !scope.RawConc(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "go statement in sim-critical package %s spawns an unscheduled goroutine; %s",
+					scope.Norm(pass.Pkg.Path()), redirect)
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(), "raw channel send in sim-critical package %s; %s",
+					scope.Norm(pass.Pkg.Path()), redirect)
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					pass.Reportf(n.Pos(), "raw channel receive in sim-critical package %s; %s",
+						scope.Norm(pass.Pkg.Path()), redirect)
+				}
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "select statement in sim-critical package %s; %s",
+					scope.Norm(pass.Pkg.Path()), redirect)
+			case *ast.RangeStmt:
+				if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						pass.Reportf(n.Pos(), "range over a channel in sim-critical package %s; %s",
+							scope.Norm(pass.Pkg.Path()), redirect)
+					}
+				}
+			case *ast.CallExpr:
+				if analysis.IsBuiltin(pass.TypesInfo, n.Fun, "make") && len(n.Args) > 0 {
+					if t := pass.TypesInfo.TypeOf(n.Args[0]); t != nil {
+						if _, isChan := t.Underlying().(*types.Chan); isChan {
+							pass.Reportf(n.Pos(), "make(chan) in sim-critical package %s; %s",
+								scope.Norm(pass.Pkg.Path()), redirect)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

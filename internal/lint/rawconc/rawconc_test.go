@@ -1,0 +1,27 @@
+package rawconc_test
+
+import (
+	"testing"
+
+	"github.com/plutus-gpu/plutus/internal/lint/analysistest"
+	"github.com/plutus-gpu/plutus/internal/lint/rawconc"
+)
+
+// TestSimCriticalFlagged: raw goroutines and channel operations in a
+// sim-critical package (modelled as internal/secmem) are all flagged,
+// with the //simlint:ignore escape hatch honored.
+func TestSimCriticalFlagged(t *testing.T) {
+	analysistest.Run(t, rawconc.Analyzer, "internal/secmem")
+}
+
+// TestSimItselfClean: internal/sim owns the mailbox machinery and may
+// use raw concurrency freely.
+func TestSimItselfClean(t *testing.T) {
+	analysistest.Run(t, rawconc.Analyzer, "internal/sim")
+}
+
+// TestHarnessClean: the harness is orchestration, not simulation state,
+// and is out of rawconc's scope.
+func TestHarnessClean(t *testing.T) {
+	analysistest.Run(t, rawconc.Analyzer, "internal/harness")
+}

@@ -1,0 +1,14 @@
+// Fixture: the harness fans out independent runs and is not
+// sim-critical, so rawconc does not apply — zero findings.
+package harness
+
+func fanOut(jobs []func()) {
+	sem := make(chan struct{}, 4)
+	for _, j := range jobs {
+		sem <- struct{}{}
+		go func(fn func()) {
+			defer func() { <-sem }()
+			fn()
+		}(j)
+	}
+}

@@ -1,0 +1,18 @@
+// Fixture: internal/sim owns the sanctioned mailbox machinery, so raw
+// concurrency here is legal — zero findings.
+package sim
+
+func workers(n int) {
+	start := make(chan uint64, 1)
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go func() {
+			for h := range start {
+				_ = h
+			}
+			done <- struct{}{}
+		}()
+	}
+	close(start)
+	<-done
+}

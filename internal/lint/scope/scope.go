@@ -1,0 +1,100 @@
+// Package scope classifies this module's packages for the simlint
+// analyzers. The determinism contract from PR 1 (parallel partition
+// execution is bit-identical to sequential) only holds if simulation
+// state never observes wall-clock time, process entropy, map iteration
+// order, or scheduler interleavings — so each analyzer applies to the
+// set of packages whose code can reach simulation state or run output.
+package scope
+
+import "strings"
+
+// ModulePath is this module's import-path prefix.
+const ModulePath = "github.com/plutus-gpu/plutus"
+
+// Norm reduces an import path to its module-relative form: the module
+// prefix is stripped, as are the " [pkg.test]" suffix `go vet` appends
+// to test variants and the "_test" suffix of external test packages.
+// The module root itself normalizes to ".".
+func Norm(pkgPath string) string {
+	p := pkgPath
+	if i := strings.Index(p, " ["); i >= 0 {
+		p = p[:i]
+	}
+	p = strings.TrimSuffix(p, "_test")
+	if p == ModulePath {
+		return "."
+	}
+	if rest, ok := strings.CutPrefix(p, ModulePath+"/"); ok {
+		return rest
+	}
+	return p
+}
+
+// simCritical lists the module-relative packages whose code holds or
+// mutates simulation state. Everything simulated flows through these:
+// events, caches, counters, crypto, traffic accounting.
+var simCritical = []string{
+	"internal/sim",
+	"internal/gpusim",
+	"internal/secmem",
+	"internal/dram",
+	"internal/counters",
+	"internal/bmt",
+	"internal/valcache",
+	"internal/cache",
+	"internal/workload",
+	"internal/trace",
+	"internal/geom",
+	"internal/crypto", // covers internal/crypto/...
+	"internal/stats",
+}
+
+func under(norm, root string) bool {
+	return norm == root || strings.HasPrefix(norm, root+"/")
+}
+
+// SimCritical reports whether pkgPath holds simulation state.
+func SimCritical(pkgPath string) bool {
+	n := Norm(pkgPath)
+	for _, root := range simCritical {
+		if under(n, root) {
+			return true
+		}
+	}
+	return false
+}
+
+// DetRand reports whether the detrand analyzer applies: all sim-critical
+// packages, plus the harness (its tables and CSVs must be byte-stable
+// across runs) and the module root (the determinism test matrix lives
+// there). cmd/ and examples/ may read the wall clock — reporting elapsed
+// time is their job.
+func DetRand(pkgPath string) bool {
+	n := Norm(pkgPath)
+	return SimCritical(pkgPath) || n == "internal/harness" || n == "."
+}
+
+// RawConc reports whether the rawconc analyzer applies: sim-critical
+// packages except internal/sim itself, which owns the one sanctioned
+// concurrency mechanism (cycle-stamped shard mailboxes). The harness is
+// exempt — it fans out independent, internally-deterministic runs.
+func RawConc(pkgPath string) bool {
+	return SimCritical(pkgPath) && !under(Norm(pkgPath), "internal/sim")
+}
+
+// MapOrder reports whether the maporder analyzer applies. Unordered map
+// iteration feeding events, stats or output breaks determinism anywhere
+// in the module, including cmd/ and examples/; only the lint tree
+// itself is exempt (its reports are ordered by the driver's final
+// position sort, and exempting it keeps the framework free to iterate
+// scratch maps).
+func MapOrder(pkgPath string) bool {
+	return !under(Norm(pkgPath), "internal/lint")
+}
+
+// StatsKey reports whether the statskey analyzer applies; its designated
+// call sites (schema-defining strings) are checked module-wide except in
+// the lint tree's own fixtures.
+func StatsKey(pkgPath string) bool {
+	return !under(Norm(pkgPath), "internal/lint")
+}

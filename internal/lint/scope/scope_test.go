@@ -1,0 +1,52 @@
+package scope
+
+import "testing"
+
+func TestNorm(t *testing.T) {
+	cases := map[string]string{
+		ModulePath:                   ".",
+		ModulePath + "/internal/sim": "internal/sim",
+		ModulePath + "/internal/valcache [" + ModulePath + "/internal/valcache.test]": "internal/valcache",
+		ModulePath + "/internal/valcache_test":                                        "internal/valcache",
+		"internal/gpusim":                                                             "internal/gpusim",
+		"example.com/other/pkg":                                                       "example.com/other/pkg",
+	}
+	for in, want := range cases {
+		if got := Norm(in); got != want {
+			t.Errorf("Norm(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestScopes(t *testing.T) {
+	mod := func(p string) string { return ModulePath + "/" + p }
+	type row struct {
+		path                                string
+		simCrit, detRand, rawConc, mapOrder bool
+	}
+	rows := []row{
+		{mod("internal/sim"), true, true, false, true},
+		{mod("internal/gpusim"), true, true, true, true},
+		{mod("internal/secmem"), true, true, true, true},
+		{mod("internal/crypto/siphash"), true, true, true, true},
+		{mod("internal/harness"), false, true, false, true},
+		{ModulePath, false, true, false, true}, // module root: determinism tests
+		{mod("cmd/benchsmoke"), false, false, false, true},
+		{mod("examples/quickstart"), false, false, false, true},
+		{mod("internal/lint/detrand"), false, false, false, false},
+	}
+	for _, r := range rows {
+		if got := SimCritical(r.path); got != r.simCrit {
+			t.Errorf("SimCritical(%q) = %v, want %v", r.path, got, r.simCrit)
+		}
+		if got := DetRand(r.path); got != r.detRand {
+			t.Errorf("DetRand(%q) = %v, want %v", r.path, got, r.detRand)
+		}
+		if got := RawConc(r.path); got != r.rawConc {
+			t.Errorf("RawConc(%q) = %v, want %v", r.path, got, r.rawConc)
+		}
+		if got := MapOrder(r.path); got != r.mapOrder {
+			t.Errorf("MapOrder(%q) = %v, want %v", r.path, got, r.mapOrder)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package simlint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/plutus-gpu/plutus/internal/lint/loader"
+	"github.com/plutus-gpu/plutus/internal/lint/simlint"
+)
+
+// moduleRoot walks up from the working directory to the directory
+// containing go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above working directory")
+		}
+		dir = parent
+	}
+}
+
+// TestRepoIsClean is the acceptance gate: the suite must report zero
+// findings over the whole module at HEAD. Any new violation either
+// gets fixed or carries an explicit //simlint:ignore with a reason.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the entire module; skipped in -short mode")
+	}
+	pkgs, err := loader.Load(moduleRoot(t), "./...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loader returned no packages")
+	}
+	diags, err := simlint.RunPackages(pkgs)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: [%s] %s", pkgs[0].Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+}

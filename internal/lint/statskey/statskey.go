@@ -1,0 +1,210 @@
+// Package statskey requires output-schema strings to be compile-time
+// constants.
+//
+// The CSVs and report tables the harness emits are diffed across runs,
+// machines and CI shards to prove determinism (and to track the paper's
+// Fig. 13-style traffic breakdowns over time). A schema string built at
+// runtime — a CSV header cell, a figure ID, a registered benchmark name
+// — can silently vary between runs and break every such diff. This
+// analyzer checks the designated schema positions:
+//
+//   - stats.Table header cells,
+//   - (*encoding/csv.Writer).Write rows written as literals (headers),
+//   - harness.Figure ID and Title fields,
+//   - workload.Spec Name and Suite fields,
+//
+// and requires each string it can see as a literal element to be a
+// compile-time constant. A csv row whose literal contains no constant
+// cell at all is a data row (formatted measurements), not schema, and
+// is not checked; a row mixing constant and computed cells is exactly
+// the schema drift this analyzer exists to catch.
+package statskey
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/plutus-gpu/plutus/internal/lint/analysis"
+	"github.com/plutus-gpu/plutus/internal/lint/scope"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "statskey",
+	Doc: "stats/CSV schema strings (table headers, CSV header rows, figure IDs, benchmark names) " +
+		"must be compile-time constants so output schemas stay diffable across runs",
+	Run: run,
+}
+
+// litFields maps (package-path suffix, type name) to the struct fields
+// holding schema strings.
+var litFields = map[[2]string][]string{
+	{"internal/harness", "Figure"}: {"ID", "Title"},
+	{"internal/workload", "Spec"}:  {"Name", "Suite"},
+}
+
+func run(pass *analysis.Pass) error {
+	if !scope.StatsKey(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				checkLit(pass, n)
+			case *ast.CallExpr:
+				checkCall(pass, file, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isConst reports whether e has a compile-time constant value.
+func isConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+// checkLit enforces constant schema fields on Figure/Spec literals.
+func checkLit(pass *analysis.Pass, lit *ast.CompositeLit) {
+	t := pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return
+	}
+	var fields []string
+	for key, fs := range litFields {
+		if named.Obj().Name() == key[1] && strings.HasSuffix(named.Obj().Pkg().Path(), key[0]) {
+			fields = fs
+			break
+		}
+	}
+	if fields == nil {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		for _, f := range fields {
+			if key.Name == f && !isConst(pass, kv.Value) {
+				pass.Reportf(kv.Value.Pos(),
+					"%s.%s is an output-schema key and must be a compile-time constant string",
+					named.Obj().Name(), f)
+			}
+		}
+	}
+}
+
+// checkCall enforces constant header cells at stats.Table and
+// (*csv.Writer).Write call sites.
+func checkCall(pass *analysis.Pass, file *ast.File, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) == 0 {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	var what string
+	switch {
+	case fn.Name() == "Table" && strings.HasSuffix(fn.Pkg().Path(), "internal/stats"):
+		what = "stats.Table header"
+	case fn.Name() == "Write" && fn.Pkg().Path() == "encoding/csv" && recvIsCSVWriter(fn):
+		what = "csv header row"
+	default:
+		return
+	}
+	checkHeaderArg(pass, file, call.Args[0], what)
+}
+
+// headerLike classifies a csv row literal: a row with no constant cell
+// is pure data (formatted measurements) and exempt; any constant cell
+// marks the row as schema-bearing, and then every cell must be
+// constant or the schema drifts between runs.
+func headerLike(pass *analysis.Pass, lit *ast.CompositeLit) bool {
+	for _, elt := range lit.Elts {
+		if isConst(pass, elt) {
+			return true
+		}
+	}
+	return false
+}
+
+func recvIsCSVWriter(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return strings.HasSuffix(types.TypeString(sig.Recv().Type(), nil), "encoding/csv.Writer")
+}
+
+// checkHeaderArg validates a schema row argument. A composite literal is
+// checked element by element; an identifier is traced one step to its
+// defining composite literal (the `header := []string{...}` idiom) —
+// later appends extend the schema with config-derived names and are
+// deliberately out of lint's reach.
+func checkHeaderArg(pass *analysis.Pass, file *ast.File, arg ast.Expr, what string) {
+	switch arg := arg.(type) {
+	case *ast.CompositeLit:
+		checkElements(pass, arg, what)
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[arg]
+		if obj == nil {
+			return
+		}
+		if lit := definingLiteral(pass, file, obj); lit != nil {
+			checkElements(pass, lit, what)
+		}
+	}
+}
+
+// definingLiteral finds the composite literal obj is initialized from
+// in its declaring statement, or nil.
+func definingLiteral(pass *analysis.Pass, file *ast.File, obj types.Object) *ast.CompositeLit {
+	var lit *ast.CompositeLit
+	ast.Inspect(file, func(n ast.Node) bool {
+		if lit != nil {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || pass.TypesInfo.Defs[id] != obj || i >= len(as.Rhs) {
+				continue
+			}
+			if l, ok := as.Rhs[i].(*ast.CompositeLit); ok {
+				lit = l
+			}
+		}
+		return lit == nil
+	})
+	return lit
+}
+
+func checkElements(pass *analysis.Pass, lit *ast.CompositeLit, what string) {
+	if what == "csv header row" && !headerLike(pass, lit) {
+		return
+	}
+	for _, elt := range lit.Elts {
+		if !isConst(pass, elt) {
+			pass.Reportf(elt.Pos(),
+				"%s cell must be a compile-time constant string so the output schema stays diffable across runs", what)
+		}
+	}
+}

@@ -1,0 +1,15 @@
+package statskey_test
+
+import (
+	"testing"
+
+	"github.com/plutus-gpu/plutus/internal/lint/analysistest"
+	"github.com/plutus-gpu/plutus/internal/lint/statskey"
+)
+
+// TestStatsKey covers all four designated schema positions (stats.Table
+// headers, csv header rows, Figure IDs/Titles, Spec names) in both
+// constant (clean) and dynamic (flagged) form, plus the escape hatch.
+func TestStatsKey(t *testing.T) {
+	analysistest.Run(t, statskey.Analyzer, "internal/userpkg")
+}

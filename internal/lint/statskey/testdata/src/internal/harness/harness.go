@@ -1,0 +1,9 @@
+// Stub of internal/harness's Figure type for the statskey fixtures.
+package harness
+
+// Figure identifies one reproducible experiment.
+type Figure struct {
+	ID    string
+	Title string
+	Run   func() (string, error)
+}

@@ -1,0 +1,77 @@
+// Fixture: schema strings visible as literals must be compile-time
+// constants; rows assembled dynamically are data and stay unchecked.
+package userpkg
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"internal/harness"
+	"internal/stats"
+	"internal/workload"
+)
+
+const colIPC = "ipc"
+
+func tables(scheme string, n int) {
+	// Literal header, all constant (including a named constant): clean.
+	_ = stats.Table([]string{"benchmark", colIPC}, nil)
+
+	// Dynamic cell in a literal header: flagged.
+	_ = stats.Table([]string{"benchmark", scheme}, nil) // want `stats\.Table header cell must be a compile-time constant`
+
+	// The header := []string{...} idiom is traced one step: clean when
+	// constant, flagged when not.
+	header := []string{"benchmark", "cycles"}
+	_ = stats.Table(header, nil)
+
+	bad := []string{"benchmark", fmt.Sprintf("run-%d", n)} // want `stats\.Table header cell must be a compile-time constant`
+	_ = stats.Table(bad, nil)
+
+	// Headers extended with config-derived names after a constant seed
+	// literal are deliberately out of reach: clean.
+	grown := []string{"benchmark"}
+	grown = append(grown, scheme)
+	_ = stats.Table(grown, nil)
+}
+
+func csvRows(w io.Writer, bench string, vals []string) error {
+	cw := csv.NewWriter(w)
+	// Literal header row: must be constant.
+	if err := cw.Write([]string{"benchmark", "cycles", bench}); err != nil { // want `csv header row cell must be a compile-time constant`
+		return err
+	}
+	// Dynamically built data rows are data, not schema: clean.
+	row := append([]string{bench}, vals...)
+	if err := cw.Write(row); err != nil {
+		return err
+	}
+	// A literal row with no constant cell is a data row (formatted
+	// measurements, cf. harness.WriteCSV): clean.
+	if err := cw.Write([]string{bench, fmt.Sprintf("%d", len(vals))}); err != nil {
+		return err
+	}
+	// ... and the same through the one-step identifier trace: clean.
+	data := []string{bench, bench}
+	return cw.Write(data)
+}
+
+func figures(id string) []harness.Figure {
+	return []harness.Figure{
+		{ID: "fig6", Title: "IPC normalized to no security"}, // constants: clean
+		{ID: id, Title: "dynamic"},                           // want `Figure\.ID is an output-schema key`
+		{ID: "fig9", Title: fmt.Sprint("t")},                 // want `Figure\.Title is an output-schema key`
+	}
+}
+
+func specs(name string) []workload.Spec {
+	return []workload.Spec{
+		{Name: "bfs", Suite: "lonestar", Warps: 4}, // constants: clean
+		{Name: name, Suite: "rodinia"},             // want `Spec\.Name is an output-schema key`
+	}
+}
+
+func suppressed(id string) harness.Figure {
+	return harness.Figure{ID: id} //simlint:ignore statskey ad-hoc debug figure, never emitted to CI artifacts
+}

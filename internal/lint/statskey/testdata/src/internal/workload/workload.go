@@ -1,0 +1,10 @@
+// Stub of internal/workload's Spec type for the statskey fixtures.
+package workload
+
+// Spec describes one registered benchmark.
+type Spec struct {
+	Name      string
+	Suite     string
+	Warps     int
+	Footprint uint64
+}

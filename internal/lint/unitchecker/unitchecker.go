@@ -1,0 +1,157 @@
+// Package unitchecker implements the driver protocol that `go vet
+// -vettool` speaks to an analysis tool.
+//
+// cmd/go invokes the tool once per package ("unit") with a single
+// argument, the path to a JSON config file describing the unit: its
+// source files, the import map, and the export-data file for every
+// dependency (already compiled into the build cache). We parse the
+// files, type-check against that export data with the gc importer,
+// run the suite, and exit 2 if any diagnostic survives suppression —
+// which cmd/go reports as a vet failure. A facts file (VetxOutput)
+// must be written even though this suite exchanges no facts; cmd/go
+// treats its absence as a tool crash.
+package unitchecker
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"github.com/plutus-gpu/plutus/internal/lint/analysis"
+)
+
+// Config mirrors the JSON schema cmd/go writes for vet tools.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Run executes the suite over the unit described by cfgFile and exits
+// the process with the vet protocol's status code: 0 clean, 1 tool
+// error, 2 diagnostics reported.
+func Run(cfgFile string, analyzers []*analysis.Analyzer, names map[string]bool) {
+	cfg, err := readConfig(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	diags, err := run(cfg, analyzers, names)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0)
+		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+func readConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parse vet config %s: %v", path, err)
+	}
+	return cfg, nil
+}
+
+func run(cfg *Config, analyzers []*analysis.Analyzer, names map[string]bool) ([]string, error) {
+	// cmd/go demands the facts file exist even when empty; write it
+	// first so an analysis crash still leaves a valid (empty) output.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency pass: cmd/go only wants facts, and we have none.
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, f := range cfg.GoFiles {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, af)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", cfg.ImportPath, err)
+	}
+
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d analysis.Diagnostic) {
+				diags = append(diags, d)
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	var out []string
+	for _, d := range analysis.Suppress(fset, files, names, diags) {
+		out = append(out, fmt.Sprintf("%s: %s (%s)", fset.Position(d.Pos), d.Message, d.Analyzer))
+	}
+	return out, nil
+}

@@ -1,0 +1,38 @@
+package stats
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// Report tables key every row off SortedKeys, so its output must not
+// depend on map insertion order or on the randomized iteration order of
+// any particular run: pin that it is sorted and stable across shuffled
+// rebuilds of the same map. (SortedKeys is the sanctioned
+// collect-then-sort idiom that simlint's maporder analyzer recognises.)
+func TestSortedKeysDeterministic(t *testing.T) {
+	names := []string{"bfs", "sssp", "pagerank", "kcore", "mst", "hotspot", "lud", "nw"}
+	rng := rand.New(rand.NewSource(3))
+
+	var first []string
+	for trial := 0; trial < 20; trial++ {
+		rng.Shuffle(len(names), func(i, j int) { names[i], names[j] = names[j], names[i] })
+		m := make(map[string]int, len(names))
+		for i, n := range names {
+			m[n] = i
+		}
+		keys := SortedKeys(m)
+		if !sort.StringsAreSorted(keys) {
+			t.Fatalf("trial %d: keys not sorted: %v", trial, keys)
+		}
+		if first == nil {
+			first = keys
+			continue
+		}
+		if !reflect.DeepEqual(keys, first) {
+			t.Fatalf("trial %d: keys %v differ from first trial %v", trial, keys, first)
+		}
+	}
+}
