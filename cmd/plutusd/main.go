@@ -1,0 +1,101 @@
+// Command plutusd serves Plutus simulations as a service: an HTTP/JSON
+// API over the shared harness runner, with a bounded job queue, a
+// worker pool, server-sent-event progress streams, and a run cache
+// shared across all clients — submitting the same (benchmark, scheme)
+// twice simulates once.
+//
+// Usage:
+//
+//	plutusd -addr :8091 -workers 4 -queue 64 -insts 20000
+//
+// Then, from any client:
+//
+//	plutussim -bench bfs -scheme plutus -remote http://127.0.0.1:8091
+//	curl -s -X POST localhost:8091/v1/runs \
+//	    -d '{"benchmark":"bfs","scheme":"plutus"}'
+//
+// On SIGTERM/SIGINT the daemon drains: it stops accepting new runs
+// (503), finishes every accepted job, keeps serving status/result reads
+// for a short linger window so waiting clients can collect, then exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"github.com/plutus-gpu/plutus/internal/harness"
+	"github.com/plutus-gpu/plutus/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8091", "listen address")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker-pool size (concurrent simulations)")
+		queue    = flag.Int("queue", 64, "queued-job bound; a full queue rejects submissions with 429")
+		insts    = flag.Uint64("insts", 20000, "warp-instruction budget per run")
+		volta    = flag.Bool("volta", false, "full 80-SM/32-partition Volta config (slow)")
+		parallel = flag.Bool("parallel", false, "run memory partitions on parallel goroutines (bit-identical results)")
+		linger   = flag.Duration("linger", 2*time.Second, "how long to keep serving reads after the drain finishes")
+	)
+	flag.Parse()
+	if err := run(*addr, *workers, *queue, *insts, *volta, *parallel, *linger); err != nil {
+		fmt.Fprintln(os.Stderr, "plutusd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, queue int, insts uint64, volta, parallel bool, linger time.Duration) error {
+	const protected = 128 << 20
+	runner := harness.NewRunner(harness.Config{
+		ProtectedBytes:     protected,
+		MaxInstructions:    insts,
+		Parallelism:        workers,
+		FullVolta:          volta,
+		ParallelPartitions: parallel,
+	})
+	s := server.New(server.Config{
+		Backend:         runner,
+		Workers:         workers,
+		QueueDepth:      queue,
+		MaxInstructions: runner.Config().MaxInstructions,
+		ProtectedBytes:  protected,
+	})
+
+	hs := &http.Server{Addr: addr, Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+	log.Printf("plutusd listening on %s (%d workers, queue %d, %d insts/run)",
+		addr, workers, queue, runner.Config().MaxInstructions)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: refuse new submissions, carry every accepted job
+	// to a settled result, linger so in-flight clients can fetch it,
+	// then close the listener.
+	log.Print("plutusd: signal received; draining (new submissions get 503)")
+	s.Drain()
+	log.Printf("plutusd: drain complete; lingering %s for result pickup", linger)
+	time.Sleep(linger)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return hs.Shutdown(shutdownCtx)
+}

@@ -2,14 +2,21 @@
 // full statistics report: IPC, DRAM traffic by class, metadata-cache hit
 // rates and security-engine event counts.
 //
+// With -remote it submits the run to a plutusd daemon instead of
+// simulating locally and relays the daemon's result bytes verbatim —
+// the output is byte-identical either way.
+//
 // Usage:
 //
 //	plutussim -bench bfs -scheme plutus
 //	plutussim -bench sgemm -scheme pssm -insts 50000 -volta
+//	plutussim -bench bfs -scheme plutus -json
+//	plutussim -bench bfs -scheme plutus -remote http://127.0.0.1:8091
 //	plutussim -list
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,23 +24,27 @@ import (
 
 	"github.com/plutus-gpu/plutus/internal/harness"
 	"github.com/plutus-gpu/plutus/internal/secmem"
-	"github.com/plutus-gpu/plutus/internal/stats"
+	"github.com/plutus-gpu/plutus/internal/server"
+	"github.com/plutus-gpu/plutus/internal/server/client"
 	"github.com/plutus-gpu/plutus/internal/workload"
 )
 
 func main() {
 	var (
 		bench    = flag.String("bench", "bfs", "benchmark name (see -list)")
-		scheme   = flag.String("scheme", "plutus", "security scheme")
+		scheme   = flag.String("scheme", "plutus", "security scheme (see -list)")
 		insts    = flag.Uint64("insts", 20000, "warp-instruction budget")
 		volta    = flag.Bool("volta", false, "full 80-SM/32-partition Volta config (slow)")
 		parallel = flag.Bool("parallel", false, "run memory partitions on parallel goroutines (bit-identical results)")
-		list     = flag.Bool("list", false, "list benchmarks and exit")
+		asJSON   = flag.Bool("json", false, "print the canonical JSON record instead of the text report")
+		remote   = flag.String("remote", "", "submit to a plutusd daemon at this base URL instead of simulating locally")
+		list     = flag.Bool("list", false, "list benchmarks and schemes, then exit")
 	)
 	flag.Parse()
 
 	if *list {
 		fmt.Println("benchmarks:", strings.Join(workload.Names(), " "))
+		fmt.Println("schemes:   ", strings.Join(secmem.Names(), " "))
 		return
 	}
 
@@ -43,6 +54,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "plutussim:", err)
 		os.Exit(1)
 	}
+
+	if *remote != "" {
+		if err := runRemote(*remote, *bench, *scheme, *insts, *asJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "plutussim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	r := harness.NewRunner(harness.Config{
 		ProtectedBytes:     protected,
 		MaxInstructions:    *insts,
@@ -55,41 +75,42 @@ func main() {
 		fmt.Fprintln(os.Stderr, "plutussim:", err)
 		os.Exit(1)
 	}
-	printReport(st, sc)
+	if *asJSON {
+		if err := harness.WriteRunJSON(os.Stdout, st); err != nil {
+			fmt.Fprintln(os.Stderr, "plutussim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Print(harness.Report(st, sc))
 }
 
-func printReport(st *stats.Stats, sc secmem.Config) {
-	fmt.Printf("benchmark: %s   scheme: %s\n", st.Benchmark, st.Scheme)
-	fmt.Printf("instructions: %d (loads %d, stores %d)\n", st.Instructions, st.LoadInsts, st.StoreInsts)
-	fmt.Printf("cycles: %d   IPC: %.4f\n\n", st.Cycles, st.IPC())
-
-	var rows [][]string
-	for _, c := range stats.Classes() {
-		if st.Traffic.Bytes(c) == 0 {
-			continue
-		}
-		rows = append(rows, []string{
-			c.String(),
-			fmt.Sprintf("%d", st.Traffic.Reads[c]),
-			fmt.Sprintf("%d", st.Traffic.Writes[c]),
-			fmt.Sprintf("%.1f", float64(st.Traffic.Bytes(c))/1024),
-		})
+// runRemote submits the run to plutusd, waits for it to settle, and
+// relays the daemon-rendered result bytes to stdout unmodified. The
+// budget travels in the request so the daemon rejects a mismatch
+// instead of returning a run simulated under different settings.
+func runRemote(base, bench, scheme string, insts uint64, asJSON bool) error {
+	ctx := context.Background()
+	c := client.New(base)
+	st, err := c.Run(ctx, server.RunRequest{
+		Benchmark:       bench,
+		Scheme:          scheme,
+		MaxInstructions: insts,
+	})
+	if err != nil {
+		return err
 	}
-	fmt.Println(stats.Table([]string{"class", "rd txns", "wr txns", "KiB"}, rows))
-	fmt.Printf("metadata overhead: %.1f%% of data bytes\n\n",
-		100*float64(st.Traffic.MetadataBytes())/float64(st.Traffic.Bytes(stats.Data)))
-
-	fmt.Printf("L2 hit rate: %.1f%%\n", 100*st.L2.HitRate())
-	if !sc.NoSecurity {
-		fmt.Printf("counter / MAC / BMT cache hit rates: %.1f%% / %.1f%% / %.1f%%\n",
-			100*st.CounterCache.HitRate(), 100*st.MACCache.HitRate(), 100*st.BMTCache.HitRate())
-		fmt.Printf("value-verified reads: %d   MAC-verified reads: %d   MAC updates skipped: %d\n",
-			st.Sec.ValueVerified, st.Sec.MACVerified, st.Sec.MACSkippedWrites)
-		fmt.Printf("compact: hits %d, overflow double-accesses %d, disabled accesses %d\n",
-			st.Sec.CompactHits, st.Sec.CompactOverflow, st.Sec.CompactDisabled)
-		fmt.Printf("integrity: tree-node verifications %d, tamper %d, replay %d\n",
-			st.Sec.BMTNodeVerifies, st.Sec.TamperDetected, st.Sec.ReplayDetected)
+	if st.State != server.StateDone {
+		return fmt.Errorf("remote run %s failed: %s", st.ID, st.Error)
 	}
-	em := stats.DefaultEnergyModel()
-	fmt.Printf("average power (arbitrary units): %.1f\n", em.Power(st))
+	format := "text"
+	if asJSON {
+		format = "json"
+	}
+	body, err := c.Result(ctx, st.ID, format)
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(body)
+	return err
 }

@@ -10,6 +10,38 @@ import (
 	"github.com/plutus-gpu/plutus/internal/stats"
 )
 
+// csvColumns is the frozen per-run CSV schema, shared by WriteCSV
+// (matrix sweeps) and WriteRunCSV (single runs over the plutusd wire).
+// It is pinned against silent drift by the csvHeader constant in
+// golden_test.go; change both together, as a reviewed artifact.
+var csvColumns = []string{
+	"benchmark", "scheme", "instructions", "cycles", "ipc",
+	"data_bytes", "counter_bytes", "mac_bytes", "bmt_bytes",
+	"cctr_bytes", "cbmt_bytes", "meta_bytes",
+	"value_verified", "mac_verified", "mac_skipped", "power",
+}
+
+// csvRow renders one run as a csvColumns-shaped record.
+func csvRow(st *stats.Stats, em stats.EnergyModel) []string {
+	return []string{
+		st.Benchmark, st.Scheme,
+		strconv.FormatUint(st.Instructions, 10),
+		strconv.FormatUint(st.Cycles, 10),
+		fmt.Sprintf("%.6f", st.IPC()),
+		strconv.FormatUint(st.Traffic.Bytes(stats.Data), 10),
+		strconv.FormatUint(st.Traffic.Bytes(stats.Counter), 10),
+		strconv.FormatUint(st.Traffic.Bytes(stats.MAC), 10),
+		strconv.FormatUint(st.Traffic.Bytes(stats.BMT), 10),
+		strconv.FormatUint(st.Traffic.Bytes(stats.CompactCounter), 10),
+		strconv.FormatUint(st.Traffic.Bytes(stats.CompactBMT), 10),
+		strconv.FormatUint(st.Traffic.MetadataBytes(), 10),
+		strconv.FormatUint(st.Sec.ValueVerified, 10),
+		strconv.FormatUint(st.Sec.MACVerified, 10),
+		strconv.FormatUint(st.Sec.MACSkippedWrites, 10),
+		fmt.Sprintf("%.3f", em.Power(st)),
+	}
+}
+
 // WriteCSV dumps the raw per-run measurements for a scheme set as CSV —
 // the machine-readable companion to the per-figure text tables, intended
 // for external plotting.
@@ -23,13 +55,7 @@ func (r *Runner) WriteCSV(w io.Writer, schemes []secmem.Config) error {
 	}
 	cw := csv.NewWriter(w)
 	defer cw.Flush()
-	header := []string{
-		"benchmark", "scheme", "instructions", "cycles", "ipc",
-		"data_bytes", "counter_bytes", "mac_bytes", "bmt_bytes",
-		"cctr_bytes", "cbmt_bytes", "meta_bytes",
-		"value_verified", "mac_verified", "mac_skipped", "power",
-	}
-	if err := cw.Write(header); err != nil {
+	if err := cw.Write(csvColumns); err != nil {
 		return err
 	}
 	em := stats.DefaultEnergyModel()
@@ -39,27 +65,27 @@ func (r *Runner) WriteCSV(w io.Writer, schemes []secmem.Config) error {
 			if err != nil {
 				return err
 			}
-			row := []string{
-				bench, sc.Scheme,
-				strconv.FormatUint(st.Instructions, 10),
-				strconv.FormatUint(st.Cycles, 10),
-				fmt.Sprintf("%.6f", st.IPC()),
-				strconv.FormatUint(st.Traffic.Bytes(stats.Data), 10),
-				strconv.FormatUint(st.Traffic.Bytes(stats.Counter), 10),
-				strconv.FormatUint(st.Traffic.Bytes(stats.MAC), 10),
-				strconv.FormatUint(st.Traffic.Bytes(stats.BMT), 10),
-				strconv.FormatUint(st.Traffic.Bytes(stats.CompactCounter), 10),
-				strconv.FormatUint(st.Traffic.Bytes(stats.CompactBMT), 10),
-				strconv.FormatUint(st.Traffic.MetadataBytes(), 10),
-				strconv.FormatUint(st.Sec.ValueVerified, 10),
-				strconv.FormatUint(st.Sec.MACVerified, 10),
-				strconv.FormatUint(st.Sec.MACSkippedWrites, 10),
-				fmt.Sprintf("%.3f", em.Power(st)),
-			}
-			if err := cw.Write(row); err != nil {
+			if err := cw.Write(csvRow(st, em)); err != nil {
 				return err
 			}
 		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteRunCSV renders a single finished run through the same frozen CSV
+// schema as WriteCSV: header plus one record. plutusd serves it for
+// `GET /v1/runs/{id}/result?format=csv`, so a row fetched over the wire
+// is byte-identical to the one a local WriteCSV sweep would emit for
+// the same run.
+func WriteRunCSV(w io.Writer, st *stats.Stats) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvColumns); err != nil {
+		return err
+	}
+	if err := cw.Write(csvRow(st, stats.DefaultEnergyModel())); err != nil {
+		return err
 	}
 	cw.Flush()
 	return cw.Error()

@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -66,12 +67,12 @@ func (c *Config) normalize() {
 }
 
 // runEntry is a single-flight cache slot: the first goroutine to claim
-// a key executes the simulation inside once; every later caller blocks
-// on the same once and reads the settled result. Unlike the previous
-// double-checked map of finished results, concurrent requests for the
-// same (benchmark, scheme) can never run the simulation twice.
+// a key becomes the leader and executes the simulation once; every
+// later caller blocks on done and reads the settled result. Concurrent
+// requests for the same (benchmark, scheme) can never run the
+// simulation twice.
 type runEntry struct {
-	once sync.Once
+	done chan struct{} // closed once st/err are settled
 	st   *stats.Stats
 	err  error
 }
@@ -80,9 +81,38 @@ type runEntry struct {
 type Runner struct {
 	cfg Config
 
-	mu    sync.Mutex
-	cache map[string]*runEntry
-	sem   chan struct{}
+	mu         sync.Mutex
+	cache      map[string]*runEntry
+	lookups    uint64 // Run/RunContext calls
+	executions uint64 // simulations actually executed (cache misses)
+	sem        chan struct{}
+}
+
+// Metrics is a snapshot of the runner's single-flight cache activity.
+// plutusd exposes it at /debug/statsz; tests use it to prove that
+// concurrent identical requests coalesced into one execution.
+type Metrics struct {
+	// Lookups counts Run/RunContext calls.
+	Lookups uint64
+	// Executions counts simulations actually executed — cache misses
+	// that reached simulate.
+	Executions uint64
+}
+
+// HitRate returns the fraction of lookups served without a fresh
+// simulation (coalesced into an in-flight run or read from cache).
+func (m Metrics) HitRate() float64 {
+	if m.Lookups == 0 {
+		return 0
+	}
+	return 1 - float64(m.Executions)/float64(m.Lookups)
+}
+
+// Metrics returns a consistent snapshot of the cache counters.
+func (r *Runner) Metrics() Metrics {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Metrics{Lookups: r.lookups, Executions: r.executions}
 }
 
 // NewRunner builds a Runner (normalizing cfg in place).
@@ -108,22 +138,61 @@ func (r *Runner) key(bench string, sc secmem.Config) string {
 // Run simulates one (benchmark, scheme) pair, serving repeats from cache.
 // Concurrent calls for the same pair coalesce into a single simulation.
 func (r *Runner) Run(bench string, sc secmem.Config) (*stats.Stats, error) {
+	return r.RunContext(context.Background(), bench, sc)
+}
+
+// RunContext is Run with cancellation: a caller that gives up while
+// queued behind the parallelism semaphore, or while waiting on another
+// goroutine's in-flight run of the same pair, unblocks with ctx.Err().
+// The simulation itself is never interrupted once started — results are
+// deterministic and cheap to keep, so an executing run always settles
+// its cache entry. A leader cancelled before its simulation starts
+// removes the entry again, leaving the cache clean for a retry; any
+// waiters already parked on that entry observe the cancellation error.
+//
+// RunContext is safe for concurrent use; plutusd's worker pool calls it
+// from many goroutines.
+func (r *Runner) RunContext(ctx context.Context, bench string, sc secmem.Config) (*stats.Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	sc.ProtectedBytes = r.cfg.ProtectedBytes
 	k := r.key(bench, sc)
+
 	r.mu.Lock()
-	e, ok := r.cache[k]
-	if !ok {
-		e = &runEntry{}
-		r.cache[k] = e
+	r.lookups++
+	if e, ok := r.cache[k]; ok {
+		r.mu.Unlock()
+		select {
+		case <-e.done:
+			return e.st, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
+	e := &runEntry{done: make(chan struct{})}
+	r.cache[k] = e
 	r.mu.Unlock()
 
-	e.once.Do(func() {
-		r.sem <- struct{}{}
-		defer func() { <-r.sem }()
-		e.st, e.err = r.simulate(bench, sc)
-	})
-	return e.st, e.err
+	settle := func(st *stats.Stats, err error) (*stats.Stats, error) {
+		e.st, e.err = st, err
+		close(e.done)
+		return st, err
+	}
+	select {
+	case r.sem <- struct{}{}:
+	case <-ctx.Done():
+		r.mu.Lock()
+		delete(r.cache, k)
+		r.mu.Unlock()
+		return settle(nil, ctx.Err())
+	}
+	r.mu.Lock()
+	r.executions++
+	r.mu.Unlock()
+	st, err := r.simulate(bench, sc)
+	<-r.sem
+	return settle(st, err)
 }
 
 // simulate executes one uncached run.

@@ -87,13 +87,22 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			units = append(units, aug)
 		}
 		if len(lp.XTestGoFiles) > 0 {
-			// foo_test imports foo; resolve that import to the
-			// augmented package so test-only exports are visible.
-			var augTypes *types.Package
-			if aug != nil {
-				augTypes = aug.Types
+			// foo_test imports foo. Only when foo has in-package test
+			// files does that import resolve to the augmented unit (so
+			// export_test.go-style helpers are visible); otherwise the
+			// augmented unit is identical to the plain package, and
+			// resolving through the shared source importer keeps type
+			// identity consistent when foo_test also imports a
+			// dependency that itself imports foo (e.g. internal/server's
+			// external test importing internal/server/client).
+			var imp types.Importer = src
+			if len(lp.TestGoFiles) > 0 {
+				var augTypes *types.Package
+				if aug != nil {
+					augTypes = aug.Types
+				}
+				imp = &selfImporter{self: lp.ImportPath, pkg: augTypes, next: src}
 			}
-			imp := &selfImporter{self: lp.ImportPath, pkg: augTypes, next: src}
 			xt, err := check(fset, imp, lp, lp.ImportPath+"_test", lp.XTestGoFiles)
 			if err != nil {
 				return nil, err

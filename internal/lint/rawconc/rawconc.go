@@ -1,13 +1,17 @@
 // Package rawconc forbids raw concurrency — go statements and channel
-// operations — in sim-critical packages outside internal/sim.
+// operations — everywhere in the module except an explicit allowlist
+// (see scope.RawConc): internal/sim's mailbox machinery, the harness's
+// run fan-out, the plutusd serving tree, and the lint framework.
 //
 // PR 1's determinism proof rests on a single discipline: every
 // cross-shard interaction is a cycle-stamped message delivered through
 // internal/sim's mailboxes at conservative lookahead barriers. A bare
-// goroutine or channel anywhere else in the simulation reintroduces
-// scheduler-dependent ordering that no seed matrix can reliably catch.
-// Model code requests cross-partition work via sim.Shard.Send; only
-// internal/sim itself may touch goroutines and channels.
+// goroutine or channel anywhere else that can reach simulation state
+// reintroduces scheduler-dependent ordering that no seed matrix can
+// reliably catch. Model code requests cross-partition work via
+// sim.Shard.Send; packages whose concurrency never touches simulation
+// state (the daemon's queue and worker pool) are allowed by name, so
+// the default for a new package is deny.
 package rawconc
 
 import (
@@ -22,8 +26,9 @@ import (
 // Analyzer implements the check.
 var Analyzer = &analysis.Analyzer{
 	Name: "rawconc",
-	Doc: "forbid go statements and raw channel operations in sim-critical packages outside " +
-		"internal/sim; cross-shard traffic must use the cycle-stamped mailbox path (sim.Shard.Send)",
+	Doc: "forbid go statements and raw channel operations outside the allowlisted packages " +
+		"(internal/sim, internal/harness, internal/server, cmd/plutusd, internal/lint); " +
+		"cross-shard traffic must use the cycle-stamped mailbox path (sim.Shard.Send)",
 	Run: run,
 }
 
@@ -37,23 +42,23 @@ func run(pass *analysis.Pass) error {
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.GoStmt:
-				pass.Reportf(n.Pos(), "go statement in sim-critical package %s spawns an unscheduled goroutine; %s",
+				pass.Reportf(n.Pos(), "go statement in determinism-scoped package %s spawns an unscheduled goroutine; %s",
 					scope.Norm(pass.Pkg.Path()), redirect)
 			case *ast.SendStmt:
-				pass.Reportf(n.Pos(), "raw channel send in sim-critical package %s; %s",
+				pass.Reportf(n.Pos(), "raw channel send in determinism-scoped package %s; %s",
 					scope.Norm(pass.Pkg.Path()), redirect)
 			case *ast.UnaryExpr:
 				if n.Op == token.ARROW {
-					pass.Reportf(n.Pos(), "raw channel receive in sim-critical package %s; %s",
+					pass.Reportf(n.Pos(), "raw channel receive in determinism-scoped package %s; %s",
 						scope.Norm(pass.Pkg.Path()), redirect)
 				}
 			case *ast.SelectStmt:
-				pass.Reportf(n.Pos(), "select statement in sim-critical package %s; %s",
+				pass.Reportf(n.Pos(), "select statement in determinism-scoped package %s; %s",
 					scope.Norm(pass.Pkg.Path()), redirect)
 			case *ast.RangeStmt:
 				if t := pass.TypesInfo.TypeOf(n.X); t != nil {
 					if _, isChan := t.Underlying().(*types.Chan); isChan {
-						pass.Reportf(n.Pos(), "range over a channel in sim-critical package %s; %s",
+						pass.Reportf(n.Pos(), "range over a channel in determinism-scoped package %s; %s",
 							scope.Norm(pass.Pkg.Path()), redirect)
 					}
 				}
@@ -61,7 +66,7 @@ func run(pass *analysis.Pass) error {
 				if analysis.IsBuiltin(pass.TypesInfo, n.Fun, "make") && len(n.Args) > 0 {
 					if t := pass.TypesInfo.TypeOf(n.Args[0]); t != nil {
 						if _, isChan := t.Underlying().(*types.Chan); isChan {
-							pass.Reportf(n.Pos(), "make(chan) in sim-critical package %s; %s",
+							pass.Reportf(n.Pos(), "make(chan) in determinism-scoped package %s; %s",
 								scope.Norm(pass.Pkg.Path()), redirect)
 						}
 					}

@@ -21,7 +21,21 @@ func TestSimItselfClean(t *testing.T) {
 }
 
 // TestHarnessClean: the harness is orchestration, not simulation state,
-// and is out of rawconc's scope.
+// and is on the allowlist.
 func TestHarnessClean(t *testing.T) {
 	analysistest.Run(t, rawconc.Analyzer, "internal/harness")
+}
+
+// TestServerAllowed: the plutusd serving tree is allowlisted — its
+// queue, worker pool, and SSE fan-out are network-service concurrency
+// with no simulation state, so none of its primitives are flagged.
+func TestServerAllowed(t *testing.T) {
+	analysistest.Run(t, rawconc.Analyzer, "internal/server")
+}
+
+// TestCommandFlagged: under the module-wide default-deny scope, a cmd/
+// package off the allowlist is still flagged — commands parallelize
+// through the harness, not with their own goroutines.
+func TestCommandFlagged(t *testing.T) {
+	analysistest.Run(t, rawconc.Analyzer, "cmd/experiments")
 }

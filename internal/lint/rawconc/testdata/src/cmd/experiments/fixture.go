@@ -1,0 +1,14 @@
+// Fixture: cmd/experiments is NOT on the rawconc allowlist. Under the
+// module-wide default-deny scope, a command that wants to parallelize
+// must go through the harness (whose fan-out is allowlisted) rather
+// than spawning its own goroutines around simulation results.
+package experiments
+
+func fanOut(results []float64) {
+	ch := make(chan float64, len(results)) // want `make\(chan\) in determinism-scoped package cmd/experiments`
+	for _, r := range results {
+		go func(v float64) { // want `go statement in determinism-scoped package cmd/experiments`
+			ch <- v // want `raw channel send in determinism-scoped package cmd/experiments`
+		}(r)
+	}
+}

@@ -1,16 +1,16 @@
-// Fixture: sim-critical package outside internal/sim — every raw
+// Fixture: determinism-scoped package (not on the rawconc allowlist) — every raw
 // concurrency primitive must be flagged.
 package secmem
 
 func concurrency() {
-	ch := make(chan int, 1) // want `make\(chan\) in sim-critical package internal/secmem`
-	go func() {             // want `go statement in sim-critical package internal/secmem`
-		ch <- 1 // want `raw channel send in sim-critical package internal/secmem`
+	ch := make(chan int, 1) // want `make\(chan\) in determinism-scoped package internal/secmem`
+	go func() {             // want `go statement in determinism-scoped package internal/secmem`
+		ch <- 1 // want `raw channel send in determinism-scoped package internal/secmem`
 	}()
-	_ = <-ch // want `raw channel receive in sim-critical package internal/secmem`
+	_ = <-ch // want `raw channel receive in determinism-scoped package internal/secmem`
 
-	select { // want `select statement in sim-critical package internal/secmem`
-	case v := <-ch: // want `raw channel receive in sim-critical package internal/secmem`
+	select { // want `select statement in determinism-scoped package internal/secmem`
+	case v := <-ch: // want `raw channel receive in determinism-scoped package internal/secmem`
 		_ = v
 	default:
 	}
@@ -18,7 +18,7 @@ func concurrency() {
 
 func drain(ch chan uint64) uint64 {
 	var sum uint64
-	for v := range ch { // want `range over a channel in sim-critical package internal/secmem`
+	for v := range ch { // want `range over a channel in determinism-scoped package internal/secmem`
 		sum += v
 	}
 	return sum

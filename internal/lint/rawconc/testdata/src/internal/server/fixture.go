@@ -1,0 +1,22 @@
+// Fixture: internal/server is on the rawconc allowlist — a worker pool
+// and bounded queue are the daemon's job, and no simulation state lives
+// here. Every primitive below must pass without a diagnostic.
+package server
+
+func workerPool() {
+	queue := make(chan int, 4)
+	done := make(chan struct{})
+	go func() {
+		for v := range queue {
+			_ = v
+		}
+		close(done)
+	}()
+	queue <- 1
+	close(queue)
+	select {
+	case <-done:
+	default:
+	}
+	<-done
+}

@@ -74,12 +74,33 @@ func DetRand(pkgPath string) bool {
 	return SimCritical(pkgPath) || n == "internal/harness" || n == "."
 }
 
-// RawConc reports whether the rawconc analyzer applies: sim-critical
-// packages except internal/sim itself, which owns the one sanctioned
-// concurrency mechanism (cycle-stamped shard mailboxes). The harness is
-// exempt — it fans out independent, internally-deterministic runs.
+// rawConcAllowed lists the packages that may use raw goroutines and
+// channels. internal/sim owns the one sanctioned simulation concurrency
+// mechanism (cycle-stamped shard mailboxes); the harness fans out
+// independent, internally-deterministic runs; internal/server (with its
+// client) and cmd/plutusd are a network service — a worker pool and
+// bounded queue are their job, and no simulation state lives there; the
+// lint tree needs scratch freedom for its own machinery.
+var rawConcAllowed = []string{
+	"internal/sim",
+	"internal/harness",
+	"internal/server", // covers internal/server/client
+	"cmd/plutusd",
+	"internal/lint",
+}
+
+// RawConc reports whether the rawconc analyzer applies: the whole
+// module, default-deny, minus rawConcAllowed. A new package that wants
+// goroutines must be added to the allowlist deliberately — the default
+// for anything that touches simulation results is the mailbox path.
 func RawConc(pkgPath string) bool {
-	return SimCritical(pkgPath) && !under(Norm(pkgPath), "internal/sim")
+	n := Norm(pkgPath)
+	for _, root := range rawConcAllowed {
+		if under(n, root) {
+			return false
+		}
+	}
+	return true
 }
 
 // MapOrder reports whether the maporder analyzer applies. Unordered map

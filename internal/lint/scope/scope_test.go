@@ -30,9 +30,17 @@ func TestScopes(t *testing.T) {
 		{mod("internal/secmem"), true, true, true, true},
 		{mod("internal/crypto/siphash"), true, true, true, true},
 		{mod("internal/harness"), false, true, false, true},
-		{ModulePath, false, true, false, true}, // module root: determinism tests
-		{mod("cmd/benchsmoke"), false, false, false, true},
-		{mod("examples/quickstart"), false, false, false, true},
+		{ModulePath, false, true, true, true}, // module root: determinism tests
+		// rawconc is module-wide default-deny: commands and examples off
+		// the allowlist are in scope even though they are not sim-critical.
+		{mod("cmd/benchsmoke"), false, false, true, true},
+		{mod("cmd/experiments"), false, false, true, true},
+		{mod("examples/quickstart"), false, false, true, true},
+		// The plutusd serving tree is allowlisted for rawconc: worker
+		// pools and SSE fan-out are its job, and it holds no sim state.
+		{mod("internal/server"), false, false, false, true},
+		{mod("internal/server/client"), false, false, false, true},
+		{mod("cmd/plutusd"), false, false, false, true},
 		{mod("internal/lint/detrand"), false, false, false, false},
 	}
 	for _, r := range rows {

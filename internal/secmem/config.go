@@ -15,6 +15,7 @@ package secmem
 
 import (
 	"fmt"
+	"strings"
 
 	"github.com/plutus-gpu/plutus/internal/cache"
 	"github.com/plutus-gpu/plutus/internal/counters"
@@ -277,36 +278,47 @@ func PlutusNoTree(protected uint64) Config {
 	return c
 }
 
-// ByName resolves a command-line scheme name to its canonical
-// configuration (the names cmd/plutussim and cmd/benchsmoke accept).
-func ByName(name string, protected uint64) (Config, error) {
-	switch name {
-	case "nosec":
-		return Baseline(protected), nil
-	case "pssm":
-		return PSSM(protected), nil
-	case "pssm-4Bmac":
-		return PSSM4B(protected), nil
-	case "pssm+cc":
-		return CommonCtr(protected), nil
-	case "plutus":
-		return Plutus(protected), nil
-	case "plutus-V":
-		return PlutusValueOnly(protected), nil
-	case "plutus-G32":
-		return PlutusFineGrain(protected, GranAll32), nil
-	case "plutus-G32-128":
-		return PlutusFineGrain(protected, GranCtr32BMT128), nil
-	case "plutus-C2":
-		return PlutusCompact(protected, counters.Compact2Bit), nil
-	case "plutus-C3":
-		return PlutusCompact(protected, counters.Compact3Bit), nil
-	case "plutus-C3A":
-		return PlutusCompact(protected, counters.Compact3BitAdaptive), nil
-	case "plutus-notree":
-		return PlutusNoTree(protected), nil
+// schemeTable is the single registry behind ByName and Names: every
+// name the CLIs and plutusd's API accept, paired with its constructor,
+// in the canonical report order (baseline, prior work, Plutus ablations,
+// full Plutus). A slice — not a map — so enumeration order is fixed.
+var schemeTable = []struct {
+	name string
+	make func(uint64) Config
+}{
+	{"nosec", Baseline},
+	{"pssm", PSSM},
+	{"pssm-4Bmac", PSSM4B},
+	{"pssm+cc", CommonCtr},
+	{"plutus-V", PlutusValueOnly},
+	{"plutus-G32", func(p uint64) Config { return PlutusFineGrain(p, GranAll32) }},
+	{"plutus-G32-128", func(p uint64) Config { return PlutusFineGrain(p, GranCtr32BMT128) }},
+	{"plutus-C2", func(p uint64) Config { return PlutusCompact(p, counters.Compact2Bit) }},
+	{"plutus-C3", func(p uint64) Config { return PlutusCompact(p, counters.Compact3Bit) }},
+	{"plutus-C3A", func(p uint64) Config { return PlutusCompact(p, counters.Compact3BitAdaptive) }},
+	{"plutus-notree", PlutusNoTree},
+	{"plutus", Plutus},
+}
+
+// Names lists every scheme name ByName accepts, in canonical order.
+func Names() []string {
+	out := make([]string, len(schemeTable))
+	for i, s := range schemeTable {
+		out[i] = s.name
 	}
-	return Config{}, fmt.Errorf("unknown scheme %q (try: nosec pssm pssm+cc plutus plutus-V plutus-G32 plutus-C3A plutus-notree)", name)
+	return out
+}
+
+// ByName resolves a command-line or API scheme name to its canonical
+// configuration (the names cmd/plutussim, cmd/benchsmoke and plutusd
+// accept). The error for an unknown name lists the full valid set.
+func ByName(name string, protected uint64) (Config, error) {
+	for _, s := range schemeTable {
+		if s.name == name {
+			return s.make(protected), nil
+		}
+	}
+	return Config{}, fmt.Errorf("unknown scheme %q (valid: %s)", name, strings.Join(Names(), " "))
 }
 
 // keys derives the distinct engine keys from the config key material.

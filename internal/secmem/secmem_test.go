@@ -3,6 +3,7 @@ package secmem
 import (
 	"bytes"
 	"encoding/binary"
+	"strings"
 	"testing"
 
 	"github.com/plutus-gpu/plutus/internal/counters"
@@ -492,5 +493,47 @@ func TestEagerTreeUpdateRoundTrip(t *testing.T) {
 	r.e.ReplayCounter(0x9000)
 	if res := r.read(t, 0x9000); res.OK {
 		t.Fatal("replay passed under eager updates")
+	}
+}
+
+// TestSchemeRegistry pins the ByName/Names contract plutusd's discovery
+// endpoint and plutussim -list rely on: every advertised name resolves,
+// normalizes cleanly, and carries the requested protected size; names
+// are unique; unknown names fail with the full valid set in the error.
+func TestSchemeRegistry(t *testing.T) {
+	const protected = 128 << 20
+	names := Names()
+	if len(names) == 0 {
+		t.Fatal("Names() is empty")
+	}
+	seen := map[string]bool{}
+	for _, name := range names {
+		if seen[name] {
+			t.Errorf("duplicate scheme name %q", name)
+		}
+		seen[name] = true
+		sc, err := ByName(name, protected)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if sc.ProtectedBytes != protected {
+			t.Errorf("ByName(%q).ProtectedBytes = %d, want %d", name, sc.ProtectedBytes, protected)
+		}
+		if err := sc.Normalize(); err != nil {
+			t.Errorf("ByName(%q) does not normalize: %v", name, err)
+		}
+	}
+	if !seen["plutus"] || !seen["pssm"] || !seen["nosec"] {
+		t.Errorf("canonical schemes missing from Names(): %v", names)
+	}
+	_, err := ByName("bogus", protected)
+	if err == nil {
+		t.Fatal("unknown scheme resolved")
+	}
+	for _, name := range names {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("unknown-scheme error does not list %q: %v", name, err)
+		}
 	}
 }

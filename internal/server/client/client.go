@@ -1,0 +1,260 @@
+// Package client is the thin Go client for plutusd's v1 API, used by
+// `plutussim -remote` and the CI smoke job. It speaks the wire types of
+// internal/server and adds the client-side conveniences the protocol
+// deliberately leaves out: 429 retry with Retry-After, SSE consumption
+// with a polling fallback, and a submit-wait-fetch one-shot.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/plutus-gpu/plutus/internal/server"
+)
+
+// Client talks to one plutusd instance.
+type Client struct {
+	base string
+	hc   *http.Client
+	// PollInterval paces the polling fallback of Wait (default 100 ms).
+	PollInterval time.Duration
+}
+
+// New returns a Client for the daemon at base (e.g. "http://127.0.0.1:8091").
+func New(base string) *Client {
+	return &Client{
+		base:         strings.TrimRight(base, "/"),
+		hc:           &http.Client{},
+		PollInterval: 100 * time.Millisecond,
+	}
+}
+
+// BaseURL returns the daemon address the client was built with.
+func (c *Client) BaseURL() string { return c.base }
+
+// QueueFullError reports a 429: the daemon's queue was full.
+type QueueFullError struct {
+	RetryAfter time.Duration
+}
+
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("plutusd queue full; retry after %s", e.RetryAfter)
+}
+
+// apiError decodes the server's ErrorResponse into a Go error.
+func apiError(resp *http.Response, body []byte) error {
+	var er server.ErrorResponse
+	if json.Unmarshal(body, &er) == nil && er.Error != "" {
+		return fmt.Errorf("plutusd: %s (HTTP %d)", er.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("plutusd: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+}
+
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		blob, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(blob)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		retry := time.Second
+		var er server.ErrorResponse
+		if json.Unmarshal(blob, &er) == nil && er.RetryAfterSeconds > 0 {
+			retry = time.Duration(er.RetryAfterSeconds) * time.Second
+		}
+		return &QueueFullError{RetryAfter: retry}
+	}
+	if resp.StatusCode >= 400 {
+		return apiError(resp, blob)
+	}
+	if out != nil {
+		return json.Unmarshal(blob, out)
+	}
+	return nil
+}
+
+// Health checks /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Schemes lists the scheme names the daemon accepts.
+func (c *Client) Schemes(ctx context.Context) ([]string, error) {
+	var nl server.NameList
+	if err := c.do(ctx, http.MethodGet, "/v1/schemes", nil, &nl); err != nil {
+		return nil, err
+	}
+	return nl.Schemes, nil
+}
+
+// Benchmarks lists the workload names the daemon accepts.
+func (c *Client) Benchmarks(ctx context.Context) ([]string, error) {
+	var nl server.NameList
+	if err := c.do(ctx, http.MethodGet, "/v1/benchmarks", nil, &nl); err != nil {
+		return nil, err
+	}
+	return nl.Benchmarks, nil
+}
+
+// Statsz fetches the /debug/statsz snapshot.
+func (c *Client) Statsz(ctx context.Context) (server.Statsz, error) {
+	var sz server.Statsz
+	err := c.do(ctx, http.MethodGet, "/debug/statsz", nil, &sz)
+	return sz, err
+}
+
+// Submit enqueues one run. A full queue surfaces as *QueueFullError.
+func (c *Client) Submit(ctx context.Context, req server.RunRequest) (server.RunStatus, error) {
+	var st server.RunStatus
+	err := c.do(ctx, http.MethodPost, "/v1/runs", req, &st)
+	return st, err
+}
+
+// Status fetches a run's current RunStatus.
+func (c *Client) Status(ctx context.Context, id string) (server.RunStatus, error) {
+	var st server.RunStatus
+	err := c.do(ctx, http.MethodGet, "/v1/runs/"+id, nil, &st)
+	return st, err
+}
+
+// Result fetches a finished run rendered as format ("json", "csv" or
+// "text"), returning the raw body bytes — byte-identical to the local
+// CLI rendering of the same run.
+func (c *Client) Result(ctx context.Context, id, format string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/runs/"+id+"/result?format="+format, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp, blob)
+	}
+	return blob, nil
+}
+
+// Events consumes the run's SSE stream, calling fn for every event
+// (history first, then live) until the job settles, the stream ends, or
+// ctx is cancelled.
+func (c *Client) Events(ctx context.Context, id string, fn func(server.Event)) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/runs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		blob, _ := io.ReadAll(resp.Body)
+		return apiError(resp, blob)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		data, ok := strings.CutPrefix(line, "data: ")
+		if !ok {
+			continue
+		}
+		var ev server.Event
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			return fmt.Errorf("bad SSE payload %q: %w", data, err)
+		}
+		if fn != nil {
+			fn(ev)
+		}
+		if ev.State.Terminal() {
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return io.ErrUnexpectedEOF
+}
+
+// Wait blocks until the run settles, preferring the SSE stream and
+// falling back to polling if streaming fails, then returns the final
+// status.
+func (c *Client) Wait(ctx context.Context, id string) (server.RunStatus, error) {
+	if err := c.Events(ctx, id, nil); err == nil {
+		return c.Status(ctx, id)
+	} else if ctx.Err() != nil {
+		return server.RunStatus{}, ctx.Err()
+	}
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-time.After(interval):
+		case <-ctx.Done():
+			return st, ctx.Err()
+		}
+	}
+}
+
+// Run is the one-shot convenience: submit (retrying while the queue is
+// full, as the Retry-After advice directs) and wait for completion.
+func (c *Client) Run(ctx context.Context, req server.RunRequest) (server.RunStatus, error) {
+	for {
+		st, err := c.Submit(ctx, req)
+		if err == nil {
+			return c.Wait(ctx, st.ID)
+		}
+		var full *QueueFullError
+		if !errors.As(err, &full) {
+			return st, err
+		}
+		select {
+		case <-time.After(full.RetryAfter):
+		case <-ctx.Done():
+			return st, ctx.Err()
+		}
+	}
+}

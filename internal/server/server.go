@@ -1,0 +1,373 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"github.com/plutus-gpu/plutus/internal/harness"
+	"github.com/plutus-gpu/plutus/internal/secmem"
+	"github.com/plutus-gpu/plutus/internal/stats"
+	"github.com/plutus-gpu/plutus/internal/workload"
+)
+
+// Backend executes one simulation run. *harness.Runner implements it;
+// tests substitute gated fakes to exercise queue mechanics without
+// simulating.
+type Backend interface {
+	RunContext(ctx context.Context, bench string, sc secmem.Config) (*stats.Stats, error)
+}
+
+// metricsBackend is the optional cache-introspection side of a Backend
+// (implemented by *harness.Runner); when present, /debug/statsz reports
+// single-flight hit rates.
+type metricsBackend interface {
+	Metrics() harness.Metrics
+}
+
+// Config parameterizes a Server.
+type Config struct {
+	// Backend runs simulations. Required.
+	Backend Backend
+	// Workers is the worker-pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the FIFO of accepted-but-not-running jobs
+	// (default 64). A full queue rejects submissions with 429.
+	QueueDepth int
+	// MaxInstructions is the daemon's per-run budget, advertised in
+	// statsz and asserted against RunRequest.MaxInstructions.
+	MaxInstructions uint64
+	// ProtectedBytes resolves scheme names (default 128 MiB, matching
+	// the harness default per-partition protected range).
+	ProtectedBytes uint64
+}
+
+// Server is the plutusd serving core. Create with New, mount Handler on
+// an http.Server, and call Drain before exit.
+type Server struct {
+	cfg   Config
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	pending  map[string]*job // dedup key → queued-or-running job
+	nextID   int
+	queued   int // jobs accepted but not yet picked up by a worker
+	inFlight int
+	draining bool
+
+	// lifetime counters for /debug/statsz, also guarded by mu
+	accepted  uint64
+	deduped   uint64
+	rejected  uint64
+	completed uint64
+	failed    uint64
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Backend == nil {
+		panic("server: Config.Backend is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.ProtectedBytes == 0 {
+		cfg.ProtectedBytes = 128 << 20
+	}
+	s := &Server{
+		cfg:     cfg,
+		queue:   make(chan *job, cfg.QueueDepth),
+		jobs:    make(map[string]*job),
+		pending: make(map[string]*job),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// worker drains the queue until Drain closes it. Jobs run with a
+// background context: once accepted, a run is always carried to a
+// terminal state and its result kept for pickup — including during
+// drain, which is what makes SIGTERM lossless for in-flight work.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.mu.Lock()
+		s.queued--
+		s.inFlight++
+		s.mu.Unlock()
+		j.transition(StateRunning, "simulation started")
+		st, err := s.cfg.Backend.RunContext(context.Background(), j.req.Benchmark, j.sc)
+
+		s.mu.Lock()
+		s.inFlight--
+		if s.pending[j.key] == j {
+			delete(s.pending, j.key)
+		}
+		if err != nil {
+			s.failed++
+		} else {
+			s.completed++
+		}
+		s.mu.Unlock()
+		if err != nil {
+			j.fail(err)
+		} else {
+			j.complete(st)
+		}
+	}
+}
+
+// Drain stops accepting new runs, lets the workers finish every job
+// already accepted (queued and in-flight), and returns once all results
+// are settled. Status and result endpoints keep serving; only POST
+// /v1/runs refuses, with 503. Safe to call more than once.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Handler returns the API mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/runs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/schemes", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, NameList{Schemes: secmem.Names()})
+	})
+	mux.HandleFunc("GET /v1/benchmarks", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, NameList{Benchmarks: workload.Names()})
+	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /debug/statsz", s.handleStatsz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, resp ErrorResponse) {
+	writeJSON(w, code, resp)
+}
+
+// handleSubmit validates, dedups, and enqueues one run.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, ErrorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	// Validate before enqueue: a job that reaches the queue can only
+	// fail in simulation, never on name resolution.
+	if _, err := workload.Get(req.Benchmark); err != nil {
+		writeError(w, http.StatusBadRequest, ErrorResponse{
+			Error:           err.Error(),
+			ValidBenchmarks: workload.Names(),
+		})
+		return
+	}
+	sc, err := secmem.ByName(req.Scheme, s.cfg.ProtectedBytes)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, ErrorResponse{
+			Error:        err.Error(),
+			ValidSchemes: secmem.Names(),
+		})
+		return
+	}
+	if req.MaxInstructions != 0 && req.MaxInstructions != s.cfg.MaxInstructions {
+		writeError(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf(
+			"budget mismatch: request asserts %d instructions/run, daemon runs %d",
+			req.MaxInstructions, s.cfg.MaxInstructions)})
+		return
+	}
+	key := req.Benchmark + "|" + req.Scheme
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, ErrorResponse{Error: "server is draining; not accepting new runs"})
+		return
+	}
+	if dup, ok := s.pending[key]; ok {
+		s.deduped++
+		s.mu.Unlock()
+		status := dup.snapshot()
+		status.Deduped = true
+		writeJSON(w, http.StatusOK, status)
+		return
+	}
+	s.nextID++
+	j := newJob(fmt.Sprintf("run-%06d", s.nextID), req, sc, key)
+	select {
+	case s.queue <- j:
+		s.jobs[j.id] = j
+		s.pending[key] = j
+		s.queued++
+		s.accepted++
+		s.mu.Unlock()
+		writeJSON(w, http.StatusAccepted, j.snapshot())
+	default:
+		s.rejected++
+		retry := s.retryAfterLocked()
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeError(w, http.StatusTooManyRequests, ErrorResponse{
+			Error:             fmt.Sprintf("queue full (%d jobs waiting)", cap(s.queue)),
+			RetryAfterSeconds: retry,
+		})
+	}
+}
+
+// retryAfterLocked estimates, in whole seconds, when a queue slot will
+// plausibly free up: one second as a floor plus one per wave of queued
+// jobs ahead of the caller. Deliberately coarse — it is advice, not a
+// reservation.
+func (s *Server) retryAfterLocked() int {
+	workers := s.cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	return 1 + s.queued/workers
+}
+
+func (s *Server) lookup(r *http.Request) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[r.PathValue("id")]
+	return j, ok
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrorResponse{Error: "unknown run id"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+// handleResult serves a finished run through the canonical harness
+// renderers, so the body is byte-identical to local CLI output.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrorResponse{Error: "unknown run id"})
+		return
+	}
+	st, err, done := j.result()
+	if !done {
+		writeError(w, http.StatusConflict, ErrorResponse{Error: "run not finished; poll /v1/runs/{id} or stream /v1/runs/{id}/events"})
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		harness.WriteRunJSON(w, st)
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		harness.WriteRunCSV(w, st)
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, harness.Report(st, j.sc))
+	default:
+		writeError(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("unknown format %q (json, csv, text)", format)})
+	}
+}
+
+// handleEvents streams job progress as server-sent events: the full
+// history first, then live transitions, ending when the job settles or
+// the client disconnects.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrorResponse{Error: "unknown run id"})
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, ErrorResponse{Error: "streaming unsupported by connection"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	replay, live, cancel := j.subscribe()
+	defer cancel()
+	emit := func(ev Event) {
+		blob, _ := json.Marshal(ev)
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.State, blob)
+		flusher.Flush()
+	}
+	for _, ev := range replay {
+		emit(ev)
+	}
+	for {
+		select {
+		case ev, ok := <-live:
+			if !ok {
+				return // terminal transition closed the stream
+			}
+			emit(ev)
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "draining": draining})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	sz := Statsz{
+		QueueDepth:      s.queued,
+		QueueCapacity:   cap(s.queue),
+		Workers:         s.cfg.Workers,
+		InFlight:        s.inFlight,
+		Accepted:        s.accepted,
+		Deduped:         s.deduped,
+		Rejected:        s.rejected,
+		Completed:       s.completed,
+		Failed:          s.failed,
+		Draining:        s.draining,
+		MaxInstructions: s.cfg.MaxInstructions,
+	}
+	s.mu.Unlock()
+	if mb, ok := s.cfg.Backend.(metricsBackend); ok {
+		m := mb.Metrics()
+		sz.Cache = &CacheStatsz{Lookups: m.Lookups, Executions: m.Executions, HitRate: m.HitRate()}
+	}
+	writeJSON(w, http.StatusOK, sz)
+}
