@@ -5,9 +5,15 @@
 // (wall-clock per mode, speedup, per-run stats) to a JSON file that the
 // CI pipeline uploads as an artifact.
 //
-// Exit status is nonzero if any run diverges between modes, or — when
-// -minspeedup is set — if the parallel sweep fails to beat sequential by
-// that factor.
+// The summary also carries a checkpoint micro-benchmark: one run is
+// snapshotted mid-flight, resumed from its last snapshot, and required
+// to reproduce the checkpointed reference exactly; the snapshot's
+// encoded size and the save/restore latencies are recorded so the cost
+// of the checkpoint subsystem is tracked run over run.
+//
+// Exit status is nonzero if any run diverges between modes, if the
+// resumed run diverges from its reference, or — when -minspeedup is
+// set — if the parallel sweep fails to beat sequential by that factor.
 //
 // Usage:
 //
@@ -20,13 +26,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
 
+	"github.com/plutus-gpu/plutus/internal/checkpoint"
+	"github.com/plutus-gpu/plutus/internal/gpusim"
 	"github.com/plutus-gpu/plutus/internal/harness"
 	"github.com/plutus-gpu/plutus/internal/secmem"
 	"github.com/plutus-gpu/plutus/internal/stats"
+	"github.com/plutus-gpu/plutus/internal/workload"
 )
 
 const protected = 128 << 20
@@ -41,15 +51,118 @@ type run struct {
 	Stats        stats.Stats `json:"stats"`
 }
 
+// checkpointReport records the snapshot subsystem's cost on one run:
+// encoded size, atomic-write and restore latency, and whether the run
+// resumed from the last snapshot reproduced the checkpointed reference
+// bit for bit (the replay guarantee).
+type checkpointReport struct {
+	Benchmark     string `json:"benchmark"`
+	Scheme        string `json:"scheme"`
+	EveryCycles   uint64 `json:"every_cycles"`
+	Snapshots     int    `json:"snapshots"`
+	SnapshotBytes int    `json:"snapshot_bytes"` // last snapshot's encoded size
+	SaveNs        int64  `json:"save_ns"`        // mean atomic-write latency per snapshot
+	RestoreNs     int64  `json:"restore_ns"`     // ResumeSnapshot latency from the last snapshot
+	ResumeMatch   bool   `json:"resume_match"`
+}
+
 // report is the BENCH_ci.json schema.
 type report struct {
-	GOMAXPROCS      int     `json:"gomaxprocs"`
-	MaxInstructions uint64  `json:"max_instructions"`
-	Runs            []run   `json:"runs"`
-	SequentialNs    int64   `json:"total_sequential_ns"`
-	ParallelNs      int64   `json:"total_parallel_ns"`
-	Speedup         float64 `json:"speedup"`
-	AllMatch        bool    `json:"all_match"`
+	GOMAXPROCS      int               `json:"gomaxprocs"`
+	MaxInstructions uint64            `json:"max_instructions"`
+	Runs            []run             `json:"runs"`
+	SequentialNs    int64             `json:"total_sequential_ns"`
+	ParallelNs      int64             `json:"total_parallel_ns"`
+	Speedup         float64           `json:"speedup"`
+	AllMatch        bool              `json:"all_match"`
+	Checkpoint      *checkpointReport `json:"checkpoint,omitempty"`
+}
+
+// measureCheckpoint runs bench/sc three times at the gpusim layer:
+// uncheckpointed (to size a cadence that yields a few snapshots),
+// checkpointed with every snapshot written through the same atomic-write
+// path the harness uses, and resumed from the last snapshot. The
+// resumed run must reproduce the checkpointed reference exactly.
+func measureCheckpoint(bench string, sc secmem.Config, insts uint64) (*checkpointReport, error) {
+	mkCfg := func(every uint64) gpusim.Config {
+		cfg := gpusim.ScaledConfig(sc)
+		cfg.Sec.ProtectedBytes = protected
+		cfg.MaxInstructions = insts
+		cfg.CheckpointEvery = every
+		return cfg
+	}
+	runOnce := func(cfg gpusim.Config, sink gpusim.CheckpointSink) (*stats.Stats, error) {
+		wl, err := workload.Get(bench)
+		if err != nil {
+			return nil, err
+		}
+		g, err := gpusim.New(cfg, wl)
+		if err != nil {
+			return nil, err
+		}
+		return g.RunWithCheckpoints(sink)
+	}
+
+	// Cadence: a third of the uncheckpointed run, so the checkpointed
+	// run takes a few snapshots at any instruction budget.
+	plain, err := runOnce(mkCfg(0), nil)
+	if err != nil {
+		return nil, err
+	}
+	every := plain.Cycles / 3
+	if every == 0 {
+		every = 1
+	}
+
+	dir, err := os.MkdirTemp("", "benchsmoke-ckpt-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "run.ckpt")
+	rep := &checkpointReport{Benchmark: bench, Scheme: sc.Scheme, EveryCycles: every}
+	var last []byte
+	var saveTotal time.Duration
+	cfg := mkCfg(every)
+	ref, err := runOnce(cfg, func(cycle uint64, data []byte) error {
+		start := time.Now()
+		if werr := checkpoint.WriteFileAtomic(path, data); werr != nil {
+			return werr
+		}
+		saveTotal += time.Since(start)
+		rep.Snapshots++
+		last = append(last[:0], data...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if rep.Snapshots == 0 {
+		return nil, fmt.Errorf("checkpointed %s/%s run took no snapshots at cadence %d", bench, sc.Scheme, every)
+	}
+	rep.SnapshotBytes = len(last)
+	rep.SaveNs = saveTotal.Nanoseconds() / int64(rep.Snapshots)
+
+	wl, err := workload.Get(bench)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	g, err := gpusim.ResumeSnapshot(cfg, wl, last)
+	if err != nil {
+		return nil, err
+	}
+	rep.RestoreNs = time.Since(start).Nanoseconds()
+	resumed, err := g.RunWithCheckpoints(nil)
+	if err != nil {
+		return nil, err
+	}
+	rep.ResumeMatch = *resumed == *ref
+	if !rep.ResumeMatch {
+		fmt.Fprintf(os.Stderr, "benchsmoke: RESUME DIVERGENCE %s/%s:\nref:     %+v\nresumed: %+v\n",
+			bench, sc.Scheme, *ref, *resumed)
+	}
+	return rep, nil
 }
 
 func main() {
@@ -118,6 +231,18 @@ func main() {
 		rep.Speedup = float64(rep.SequentialNs) / float64(rep.ParallelNs)
 	}
 
+	// Checkpoint micro-benchmark on one representative run (the first
+	// benchmark under the last scheme — plutus in the default matrix).
+	ck, err := measureCheckpoint(benchList[0], scs[len(scs)-1], *insts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsmoke: checkpoint:", err)
+		os.Exit(1)
+	}
+	rep.Checkpoint = ck
+	if !ck.ResumeMatch {
+		rep.AllMatch = false
+	}
+
 	blob, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchsmoke:", err)
@@ -130,6 +255,9 @@ func main() {
 	fmt.Printf("benchsmoke: %d runs, seq %.2fs, par %.2fs, speedup %.2fx, match=%v -> %s\n",
 		len(rep.Runs), float64(rep.SequentialNs)/1e9, float64(rep.ParallelNs)/1e9,
 		rep.Speedup, rep.AllMatch, *out)
+	fmt.Printf("benchsmoke: checkpoint %s/%s: %d snapshots of %d B every %d cycles, save %s, restore %s, resume match=%v\n",
+		ck.Benchmark, ck.Scheme, ck.Snapshots, ck.SnapshotBytes, ck.EveryCycles,
+		time.Duration(ck.SaveNs), time.Duration(ck.RestoreNs), ck.ResumeMatch)
 
 	if !rep.AllMatch {
 		os.Exit(1)

@@ -13,6 +13,14 @@
 //	plutussim -bench bfs -scheme plutus -json
 //	plutussim -bench bfs -scheme plutus -remote http://127.0.0.1:8091
 //	plutussim -list
+//
+// With -checkpoint-every N (and -checkpoint-dir) the run snapshots its
+// complete state every N cycles; if it is killed, rerunning the same
+// command with -resume continues from the last snapshot and produces
+// output byte-identical to an uninterrupted run at the same cadence:
+//
+//	plutussim -bench bfs -scheme plutus -checkpoint-dir /tmp/ckpt -checkpoint-every 100000
+//	plutussim -bench bfs -scheme plutus -checkpoint-dir /tmp/ckpt -checkpoint-every 100000 -resume
 package main
 
 import (
@@ -39,6 +47,9 @@ func main() {
 		asJSON   = flag.Bool("json", false, "print the canonical JSON record instead of the text report")
 		remote   = flag.String("remote", "", "submit to a plutusd daemon at this base URL instead of simulating locally")
 		list     = flag.Bool("list", false, "list benchmarks and schemes, then exit")
+		ckptDir  = flag.String("checkpoint-dir", "", "directory for run snapshots (required with -checkpoint-every)")
+		ckptN    = flag.Uint64("checkpoint-every", 0, "snapshot the run every N cycles (0 = off; cadence affects timing, so compare runs at equal cadence)")
+		resume   = flag.Bool("resume", false, "resume from the snapshot in -checkpoint-dir if one exists")
 	)
 	flag.Parse()
 
@@ -63,12 +74,23 @@ func main() {
 		return
 	}
 
+	if *ckptN > 0 && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "plutussim: -checkpoint-every requires -checkpoint-dir")
+		os.Exit(1)
+	}
+	if *resume && *ckptN == 0 {
+		fmt.Fprintln(os.Stderr, "plutussim: -resume requires -checkpoint-every (the cadence is part of the run's identity)")
+		os.Exit(1)
+	}
 	r := harness.NewRunner(harness.Config{
 		ProtectedBytes:     protected,
 		MaxInstructions:    *insts,
 		Benchmarks:         []string{*bench},
 		FullVolta:          *volta,
 		ParallelPartitions: *parallel,
+		CheckpointEvery:    *ckptN,
+		CheckpointDir:      *ckptDir,
+		Resume:             *resume,
 	})
 	st, err := r.Run(*bench, sc)
 	if err != nil {

@@ -1,0 +1,64 @@
+// Package checkpoint defines the deterministic snapshot container used
+// to park and resume simulations: a versioned, self-describing binary
+// file of named, length-prefixed, CRC-guarded sections, plus the
+// little-endian encoder/decoder every state-bearing package serializes
+// itself with.
+//
+// The format exists to make one guarantee cheap to audit: a snapshot of
+// the same simulator state is always the same bytes. Encoding is
+// explicit field-by-field (no reflection, no map iteration — see the
+// maporder analyzer, which covers this package), every section carries
+// its own CRC32 so a torn write is detected before any state is
+// restored, and a whole-file trailer CRC rejects bit flips anywhere,
+// including in the header itself.
+//
+// Error taxonomy on load — callers branch with errors.Is:
+//
+//   - ErrTruncated: the file ends early (torn write, killed writer).
+//   - ErrCorrupt: checksum or structural mismatch — bytes changed.
+//   - ErrVersion: an intact file written by a different format version.
+//   - ErrMismatch: an intact, current-version file whose embedded
+//     configuration fingerprint does not match the resuming run.
+//   - ErrNotQuiescent: a snapshot was requested while in-flight state
+//     (MSHRs, pending security ops, queued events) existed; snapshots
+//     are only taken at drained epoch boundaries.
+//   - ErrPreempted: a run was deliberately parked at a checkpoint by
+//     its checkpoint sink (worker preemption); the snapshot on disk is
+//     valid and resumable.
+package checkpoint
+
+import "errors"
+
+// Version is the current snapshot format version. Any change to the
+// container layout or to any package's section encoding must bump it;
+// old snapshots are then rejected with ErrVersion rather than decoded
+// into misaligned state.
+const Version = 1
+
+var (
+	// ErrTruncated reports a snapshot that ends before its trailer —
+	// the writer died mid-write or the file was cut short.
+	ErrTruncated = errors.New("checkpoint: snapshot truncated")
+
+	// ErrCorrupt reports a snapshot whose bytes fail a CRC or whose
+	// structure cannot be parsed: the content changed after writing.
+	ErrCorrupt = errors.New("checkpoint: snapshot corrupt")
+
+	// ErrVersion reports an intact snapshot written under a different
+	// format version than this binary understands.
+	ErrVersion = errors.New("checkpoint: snapshot version mismatch")
+
+	// ErrMismatch reports a valid snapshot that belongs to a different
+	// run: its configuration fingerprint (GPU geometry, scheme,
+	// workload, budget) does not match the run trying to resume it.
+	ErrMismatch = errors.New("checkpoint: snapshot does not match run configuration")
+
+	// ErrNotQuiescent reports an attempt to snapshot state that still
+	// has in-flight work; it indicates a bug in the epoch drain.
+	ErrNotQuiescent = errors.New("checkpoint: simulator not quiescent")
+
+	// ErrPreempted reports a run parked on purpose: the checkpoint sink
+	// asked the run to stop after an atomic snapshot write. The run can
+	// be resumed from that snapshot at any time.
+	ErrPreempted = errors.New("checkpoint: run preempted at checkpoint")
+)

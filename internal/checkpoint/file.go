@@ -1,0 +1,190 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// File layout (all integers little-endian):
+//
+//	magic   [8]byte  "PLUTSNAP"
+//	version u32
+//	count   u32                      number of sections
+//	section × count:
+//	    nameLen    u32
+//	    name       [nameLen]byte
+//	    payloadLen u64
+//	    payload    [payloadLen]byte
+//	    payloadCRC u32               CRC32 (IEEE) of payload
+//	trailer [8]byte  "PLUTSEND"
+//	fileCRC u32                      CRC32 (IEEE) of every prior byte
+//
+// The trailer magic distinguishes truncation (writer died; trailer
+// absent → ErrTruncated) from corruption (trailer present but a CRC
+// fails → ErrCorrupt). Section order is part of the format: writers
+// emit sections in a fixed order, so identical state is identical bytes.
+const (
+	fileMagic    = "PLUTSNAP"
+	trailerMagic = "PLUTSEND"
+	// magic + version + count + trailer magic + file CRC.
+	minFileLen = 8 + 4 + 4 + 8 + 4
+)
+
+// Section is one named, independently checksummed chunk of a snapshot.
+type Section struct {
+	Name    string
+	Payload []byte
+}
+
+// File is an ordered collection of sections — one snapshot.
+type File struct {
+	sections []Section
+}
+
+// Add appends a section. Adding two sections with the same name is a
+// programming error and panics; section names are the format's schema.
+func (f *File) Add(name string, payload []byte) {
+	for _, s := range f.sections {
+		if s.Name == name {
+			panic("checkpoint: duplicate section " + name)
+		}
+	}
+	f.sections = append(f.sections, Section{Name: name, Payload: payload})
+}
+
+// Section returns the payload of the named section.
+func (f *File) Section(name string) ([]byte, bool) {
+	for _, s := range f.sections {
+		if s.Name == name {
+			return s.Payload, true
+		}
+	}
+	return nil, false
+}
+
+// Sections returns the sections in file order.
+func (f *File) Sections() []Section { return f.sections }
+
+// Encode serializes the file, trailer and checksums included.
+func (f *File) Encode() []byte {
+	e := NewEncoder()
+	e.buf.WriteString(fileMagic)
+	e.U32(Version)
+	e.U32(uint32(len(f.sections)))
+	for _, s := range f.sections {
+		e.String(s.Name)
+		e.U64(uint64(len(s.Payload)))
+		e.buf.Write(s.Payload)
+		e.U32(crc32.ChecksumIEEE(s.Payload))
+	}
+	e.buf.WriteString(trailerMagic)
+	e.U32(crc32.ChecksumIEEE(e.Data()))
+	return e.Data()
+}
+
+// Decode parses and verifies a snapshot. It never returns partially
+// decoded state: any failure yields a nil File and one of the typed
+// errors (ErrTruncated, ErrCorrupt, ErrVersion).
+func Decode(data []byte) (*File, error) {
+	if len(data) < minFileLen {
+		return nil, fmt.Errorf("%d bytes, need at least %d: %w", len(data), minFileLen, ErrTruncated)
+	}
+	// Trailer first: a missing trailer means the writer never finished,
+	// which is the one failure a caller may treat as benign (retry from
+	// an older snapshot) rather than alarming.
+	trailerOff := len(data) - 12
+	if string(data[trailerOff:trailerOff+8]) != trailerMagic {
+		return nil, fmt.Errorf("trailer magic missing: %w", ErrTruncated)
+	}
+	wantCRC := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.ChecksumIEEE(data[:len(data)-4]); got != wantCRC {
+		return nil, fmt.Errorf("file CRC mismatch (got %08x want %08x): %w", got, wantCRC, ErrCorrupt)
+	}
+	if string(data[:8]) != fileMagic {
+		return nil, fmt.Errorf("bad magic %q: %w", data[:8], ErrCorrupt)
+	}
+	version := binary.LittleEndian.Uint32(data[8:12])
+	if version != Version {
+		return nil, fmt.Errorf("snapshot version %d, this binary reads version %d: %w",
+			version, Version, ErrVersion)
+	}
+
+	d := NewDecoder(data[12:trailerOff])
+	count := d.U32()
+	f := &File{}
+	for i := uint32(0); i < count; i++ {
+		name := d.String()
+		payloadLen := d.U64()
+		payload := d.take(int(payloadLen))
+		crc := d.U32()
+		if d.err != nil {
+			break
+		}
+		if got := crc32.ChecksumIEEE(payload); got != crc {
+			return nil, fmt.Errorf("section %q CRC mismatch (got %08x want %08x): %w",
+				name, got, crc, ErrCorrupt)
+		}
+		if _, dup := f.Section(name); dup {
+			return nil, fmt.Errorf("duplicate section %q: %w", name, ErrCorrupt)
+		}
+		// Copy so the File does not alias the caller's buffer.
+		p := make([]byte, len(payload))
+		copy(p, payload)
+		f.Add(name, p)
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("section table: %w", err)
+	}
+	return f, nil
+}
+
+// WriteFileAtomic writes data to path via a same-directory temp file,
+// fsync, and rename, so a reader never observes a half-written
+// snapshot: it sees the old file, the new file, or (on first write) no
+// file — and Decode's trailer check catches the torn-temp case anyway.
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// ReadFile reads and decodes the snapshot at path. A missing file is
+// reported via the ordinary fs.ErrNotExist chain, distinct from the
+// decode taxonomy, so callers can treat "no snapshot yet" separately
+// from "snapshot damaged".
+func ReadFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}

@@ -1,0 +1,87 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzDecode: for arbitrary input bytes, Decode either fails with one
+// of the typed errors or yields a File whose re-encoding is the input
+// identically — the format has one canonical byte representation, so
+// decode∘encode must be the identity on everything Decode accepts. It
+// must never panic and never return an untyped error.
+func FuzzDecode(f *testing.F) {
+	valid := sampleFile().Encode()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte("PLUTSNAP"))
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)
+	// An empty file object is the smallest canonical encoding.
+	f.Add((&File{}).Encode())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fl, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+				t.Fatalf("Decode returned an untyped error: %v", err)
+			}
+			return
+		}
+		if !bytes.Equal(fl.Encode(), data) {
+			t.Fatalf("decode/encode round trip is not the identity on %d accepted bytes", len(data))
+		}
+	})
+}
+
+// FuzzDecoder: the primitive decoder must survive arbitrary bytes under
+// an arbitrary read script — no panics, no huge allocations from
+// attacker-controlled length prefixes, and Finish never reports success
+// unless the input was consumed exactly.
+func FuzzDecoder(f *testing.F) {
+	enc := NewEncoder()
+	enc.U64(1)
+	enc.U32(2)
+	enc.U8(3)
+	enc.Bool(true)
+	enc.String("s")
+	enc.Bytes([]byte{9})
+	f.Add([]byte{}, enc.Data())
+	f.Add([]byte{0, 1, 2, 3, 4, 5}, []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{4, 4, 4}, []byte("PLUTSNAP"))
+
+	f.Fuzz(func(t *testing.T, script, data []byte) {
+		d := NewDecoder(data)
+		consumed := 0
+		for _, op := range script {
+			switch op % 6 {
+			case 0:
+				d.U64()
+				consumed += 8
+			case 1:
+				d.U32()
+				consumed += 4
+			case 2:
+				d.U8()
+				consumed++
+			case 3:
+				d.Bool()
+				consumed++
+			case 4:
+				consumed += 8 + len(d.String())
+			case 5:
+				consumed += 8 + len(d.Bytes())
+			}
+		}
+		err := d.Finish()
+		if err == nil && consumed != len(data) {
+			t.Fatalf("Finish succeeded after consuming %d of %d bytes", consumed, len(data))
+		}
+		if err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("Finish returned an untyped error: %v", err)
+		}
+	})
+}

@@ -1,0 +1,115 @@
+package counters
+
+import (
+	"fmt"
+
+	"github.com/plutus-gpu/plutus/internal/checkpoint"
+)
+
+// Snapshot encodes the split store's materialized groups in ascending
+// group-index order: index, major counter, then every minor in slot
+// order. Geometry is not encoded (the restoring side rebuilds from the
+// same SplitConfig); the group width is cross-checked on restore. The
+// OnOverflow hook is runtime wiring, not state, and is never touched.
+func (s *SplitStore) Snapshot(enc *checkpoint.Encoder) error {
+	enc.U32(uint32(s.cfg.GroupSize))
+	enc.U64(uint64(len(s.groups)))
+	for _, gi := range checkpoint.SortedKeys(s.groups) {
+		g := s.groups[gi]
+		enc.U64(gi)
+		enc.U64(g.major)
+		for _, m := range g.minors {
+			enc.U32(m)
+		}
+	}
+	return nil
+}
+
+// Restore decodes state written by Snapshot into a store of the same
+// geometry, replacing any existing groups.
+func (s *SplitStore) Restore(dec *checkpoint.Decoder) error {
+	groupSize := dec.U32()
+	if err := dec.Err(); err != nil {
+		return fmt.Errorf("counters: split store: %w", err)
+	}
+	if int(groupSize) != s.cfg.GroupSize {
+		return fmt.Errorf("counters: snapshot group size %d, store has %d: %w",
+			groupSize, s.cfg.GroupSize, checkpoint.ErrMismatch)
+	}
+	n := dec.U64()
+	groups := make(map[uint64]*group, n)
+	for i := uint64(0); i < n; i++ {
+		gi := dec.U64()
+		g := &group{major: dec.U64(), minors: make([]uint32, s.cfg.GroupSize)}
+		for k := range g.minors {
+			g.minors[k] = dec.U32()
+		}
+		if dec.Err() != nil {
+			break
+		}
+		groups[gi] = g
+	}
+	if err := dec.Err(); err != nil {
+		return fmt.Errorf("counters: split store: %w", err)
+	}
+	s.groups = groups
+	return nil
+}
+
+// Snapshot encodes the compact view's sticky adaptive state: disabled
+// blocks and per-block saturated-sector sets, both in ascending index
+// order. Counter values themselves are derived from the split store and
+// are not duplicated here.
+func (v *CompactView) Snapshot(enc *checkpoint.Encoder) error {
+	enc.U8(uint8(v.kind))
+	enc.U64(uint64(len(v.disabled)))
+	for _, b := range checkpoint.SortedKeys(v.disabled) {
+		enc.U64(b)
+		enc.Bool(v.disabled[b])
+	}
+	enc.U64(uint64(len(v.saturated)))
+	for _, b := range checkpoint.SortedKeys(v.saturated) {
+		set := v.saturated[b]
+		enc.U64(b)
+		enc.U64(uint64(len(set)))
+		for _, i := range checkpoint.SortedKeys(set) {
+			enc.U64(i)
+		}
+	}
+	return nil
+}
+
+// Restore decodes state written by Snapshot into a view of the same kind.
+func (v *CompactView) Restore(dec *checkpoint.Decoder) error {
+	kind := CompactKind(dec.U8())
+	if err := dec.Err(); err != nil {
+		return fmt.Errorf("counters: compact view: %w", err)
+	}
+	if kind != v.kind {
+		return fmt.Errorf("counters: snapshot compact kind %s, view is %s: %w",
+			kind, v.kind, checkpoint.ErrMismatch)
+	}
+	nd := dec.U64()
+	disabled := make(map[uint64]bool, nd)
+	for i := uint64(0); i < nd && dec.Err() == nil; i++ {
+		b := dec.U64()
+		disabled[b] = dec.Bool()
+	}
+	ns := dec.U64()
+	saturated := make(map[uint64]map[uint64]bool, ns)
+	for i := uint64(0); i < ns && dec.Err() == nil; i++ {
+		b := dec.U64()
+		cnt := dec.U64()
+		set := make(map[uint64]bool, cnt)
+		for k := uint64(0); k < cnt && dec.Err() == nil; k++ {
+			set[dec.U64()] = true
+		}
+		saturated[b] = set
+	}
+	if err := dec.Err(); err != nil {
+		return fmt.Errorf("counters: compact view: %w", err)
+	}
+	v.disabled = disabled
+	v.saturated = saturated
+	return nil
+}

@@ -60,6 +60,16 @@ type Config struct {
 	// MaxCycles hard-stops the simulation (0 = unlimited).
 	MaxCycles uint64
 
+	// CheckpointEvery, when nonzero, drains the simulation to a quiescent
+	// epoch boundary every time the clock passes another multiple of this
+	// many cycles and hands a snapshot to the run's checkpoint sink (see
+	// GPU.RunWithCheckpoints). Draining perturbs event timing relative to
+	// a run with CheckpointEvery == 0 — but identically for every run with
+	// the same value, which is exactly what makes a killed-and-resumed run
+	// byte-identical to an uninterrupted run at the same cadence. 0
+	// disables checkpointing.
+	CheckpointEvery uint64
+
 	// ParallelPartitions executes each memory partition (and the SM
 	// front end) on its own goroutine, advancing them in lockstep
 	// windows of the interconnect latency (conservative PDES). Results

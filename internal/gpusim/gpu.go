@@ -38,6 +38,16 @@ type GPU struct {
 	stores      uint64
 	activeWarps int
 	budgetDone  bool
+
+	// Checkpoint state (see checkpoint.go). While draining, fetch parks
+	// warps instead of issuing; parked records the park order, which is
+	// part of the deterministic-replay contract. restoredParked seeds the
+	// first window of a resumed run; nextCkpt is the next checkpoint
+	// trigger cycle when cfg.CheckpointEvery > 0.
+	draining       bool
+	parked         []*warpCtx
+	restoredParked []int
+	nextCkpt       uint64
 }
 
 // partition is one memory-side shard. All fields are owned by the
@@ -167,62 +177,16 @@ func New(cfg Config, wl Workload) (*GPU, error) {
 	return g, nil
 }
 
-// Run executes the workload to completion (or budget exhaustion) and
-// returns the merged statistics. Per-shard statistics are merged in
-// partition order at the end, so the result is deterministic regardless
-// of execution mode.
-func (g *GPU) Run() *stats.Stats {
-	defer g.cluster.Close()
-	for _, w := range g.warps {
-		w := w
-		g.eng.Schedule(0, func() { g.fetch(w) })
-	}
-	// 2^34 events is far beyond any legitimate run; treat as livelock.
-	if !g.cluster.Run(1 << 34) {
-		panic("gpusim: event livelock")
-	}
-
-	// Final writeback accounting: flush dirty L2, then dirty metadata.
-	// Each flush runs on its partition's own shard (and hence in
-	// parallel when enabled), with a full drain between the phases.
-	for _, p := range g.parts {
-		p := p
-		p.eng.Schedule(0, func() { p.flushL2() })
-	}
-	g.cluster.Run(1 << 30)
-	for _, p := range g.parts {
-		p := p
-		p.eng.Schedule(0, func() { p.sec.FlushDirtyMetadata() })
-	}
-	g.cluster.Run(1 << 30)
-
-	out := &stats.Stats{
-		Benchmark:    g.wl.Name(),
-		Scheme:       g.cfg.Sec.Scheme,
-		Cycles:       uint64(g.cluster.LastEventAt()),
-		Instructions: g.issued,
-		MemInsts:     g.loads + g.stores,
-		LoadInsts:    g.loads,
-		StoreInsts:   g.stores,
-	}
-	for _, p := range g.parts {
-		p.sec.FinishStats()
-		p.st.L2 = p.l2.Stats
-		out.Traffic.Add(&p.st.Traffic)
-		out.Sec.Add(&p.st.Sec)
-		out.L2.Add(&p.st.L2)
-		out.CounterCache.Add(&p.st.CounterCache)
-		out.MACCache.Add(&p.st.MACCache)
-		out.BMTCache.Add(&p.st.BMTCache)
-		out.CompactCache.Add(&p.st.CompactCache)
-		out.CompactBMTC.Add(&p.st.CompactBMTC)
-	}
-	return out
-}
-
 // fetch advances warp w to its next instruction.
 func (g *GPU) fetch(w *warpCtx) {
 	if !w.active {
+		return
+	}
+	if g.draining {
+		// Epoch drain: park instead of issuing. The workload cursor is
+		// untouched, so the parked warp's next instruction is exactly the
+		// one it will fetch after the checkpoint (or after resume).
+		g.parked = append(g.parked, w)
 		return
 	}
 	if g.budgetDone {

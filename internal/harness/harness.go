@@ -6,11 +6,17 @@ package harness
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"sync"
 
+	"github.com/plutus-gpu/plutus/internal/checkpoint"
 	"github.com/plutus-gpu/plutus/internal/gpusim"
 	"github.com/plutus-gpu/plutus/internal/secmem"
 	"github.com/plutus-gpu/plutus/internal/stats"
@@ -38,6 +44,20 @@ type Config struct {
 	// Results are bit-identical to sequential mode, so the run cache is
 	// shared between the two.
 	ParallelPartitions bool
+
+	// CheckpointEvery snapshots each simulation's full state every this
+	// many cycles (0 = no checkpointing). Checkpoint cadence perturbs
+	// event timing (see gpusim.Config.CheckpointEvery), so it is part of
+	// the run cache key: results are only comparable between runs at the
+	// same cadence.
+	CheckpointEvery uint64
+	// CheckpointDir is where snapshots are written, one file per run,
+	// named after the run key. Required when CheckpointEvery > 0.
+	CheckpointDir string
+	// Resume restores any run whose snapshot file exists in
+	// CheckpointDir instead of starting it from cycle zero. Completed
+	// runs delete their snapshot, so only interrupted runs resume.
+	Resume bool
 }
 
 // DefaultConfig returns the sweep configuration used by cmd/experiments.
@@ -132,7 +152,21 @@ func NewRunner(cfg Config) *Runner {
 func (r *Runner) Config() Config { return r.cfg }
 
 func (r *Runner) key(bench string, sc secmem.Config) string {
-	return fmt.Sprintf("%s|%s|%d|%d", bench, sc.Scheme, r.cfg.MaxInstructions, sc.ProtectedBytes)
+	k := fmt.Sprintf("%s|%s|%d|%d", bench, sc.Scheme, r.cfg.MaxInstructions, sc.ProtectedBytes)
+	if r.cfg.CheckpointEvery > 0 {
+		// Checkpoint drains perturb timing; keep cadenced runs in their
+		// own cache lineage (and their own snapshot files).
+		k += fmt.Sprintf("|ckpt=%d", r.cfg.CheckpointEvery)
+	}
+	return k
+}
+
+// SnapshotPath returns the snapshot file a given run reads and writes:
+// the run key with filesystem-hostile characters replaced.
+func (r *Runner) SnapshotPath(bench string, sc secmem.Config) string {
+	sc.ProtectedBytes = r.cfg.ProtectedBytes
+	name := strings.NewReplacer("|", "_", "/", "_").Replace(r.key(bench, sc))
+	return filepath.Join(r.cfg.CheckpointDir, name+".ckpt")
 }
 
 // Run simulates one (benchmark, scheme) pair, serving repeats from cache.
@@ -190,13 +224,25 @@ func (r *Runner) RunContext(ctx context.Context, bench string, sc secmem.Config)
 	r.mu.Lock()
 	r.executions++
 	r.mu.Unlock()
-	st, err := r.simulate(bench, sc)
+	st, err := r.simulate(ctx, bench, sc)
 	<-r.sem
+	if errors.Is(err, checkpoint.ErrPreempted) {
+		// The run parked itself in its snapshot file; drop the cache entry
+		// so a retry resumes it instead of observing the preemption error.
+		r.mu.Lock()
+		delete(r.cache, k)
+		r.mu.Unlock()
+	}
 	return settle(st, err)
 }
 
-// simulate executes one uncached run.
-func (r *Runner) simulate(bench string, sc secmem.Config) (*stats.Stats, error) {
+// simulate executes one uncached run. With checkpointing configured it
+// writes a snapshot every Config.CheckpointEvery cycles (atomically, so
+// a kill mid-write leaves the previous snapshot intact), resumes from an
+// existing snapshot when Config.Resume is set, honors ctx cancellation
+// at checkpoint boundaries by parking the run with ErrPreempted, and
+// deletes the snapshot once the run completes.
+func (r *Runner) simulate(ctx context.Context, bench string, sc secmem.Config) (*stats.Stats, error) {
 	wl, err := workload.Get(bench)
 	if err != nil {
 		return nil, err
@@ -210,11 +256,56 @@ func (r *Runner) simulate(bench string, sc secmem.Config) (*stats.Stats, error) 
 	gcfg.Sec.ProtectedBytes = r.cfg.ProtectedBytes
 	gcfg.MaxInstructions = r.cfg.MaxInstructions
 	gcfg.ParallelPartitions = r.cfg.ParallelPartitions
-	g, err := gpusim.New(gcfg, wl)
-	if err != nil {
-		return nil, fmt.Errorf("harness: %s/%s: %w", bench, sc.Scheme, err)
+	gcfg.CheckpointEvery = r.cfg.CheckpointEvery
+
+	var g *gpusim.GPU
+	var snapPath string
+	if r.cfg.CheckpointEvery > 0 {
+		if r.cfg.CheckpointDir == "" {
+			return nil, fmt.Errorf("harness: %s/%s: CheckpointEvery set without CheckpointDir", bench, sc.Scheme)
+		}
+		snapPath = r.SnapshotPath(bench, sc)
+		if r.cfg.Resume {
+			if data, rerr := os.ReadFile(snapPath); rerr == nil {
+				g, err = gpusim.ResumeSnapshot(gcfg, wl, data)
+				if err != nil {
+					return nil, fmt.Errorf("harness: %s/%s: resume %s: %w", bench, sc.Scheme, snapPath, err)
+				}
+			} else if !errors.Is(rerr, fs.ErrNotExist) {
+				return nil, fmt.Errorf("harness: %s/%s: %w", bench, sc.Scheme, rerr)
+			}
+		}
 	}
-	st := g.Run()
+	if g == nil {
+		g, err = gpusim.New(gcfg, wl)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s/%s: %w", bench, sc.Scheme, err)
+		}
+	}
+
+	var sink gpusim.CheckpointSink
+	if snapPath != "" {
+		sink = func(cycle uint64, data []byte) error {
+			if err := checkpoint.WriteFileAtomic(snapPath, data); err != nil {
+				return fmt.Errorf("harness: %s/%s: write snapshot: %w", bench, sc.Scheme, err)
+			}
+			if cerr := ctx.Err(); cerr != nil {
+				// The snapshot just written is the park point; the run can
+				// be picked up again with Config.Resume.
+				return fmt.Errorf("harness: %s/%s parked at cycle %d (%v): %w",
+					bench, sc.Scheme, cycle, cerr, checkpoint.ErrPreempted)
+			}
+			return nil
+		}
+	}
+	st, err := g.RunWithCheckpoints(sink)
+	if err != nil {
+		return nil, err
+	}
+	if snapPath != "" {
+		// Completed: the snapshot would only shadow future identical runs.
+		os.Remove(snapPath)
+	}
 	if st.Sec.TamperDetected != 0 || st.Sec.ReplayDetected != 0 {
 		return nil, fmt.Errorf("harness: %s/%s: false security alarms: %+v", bench, sc.Scheme, st.Sec)
 	}

@@ -14,3 +14,11 @@ import (
 func TestMapOrder(t *testing.T) {
 	analysistest.Run(t, maporder.Analyzer, "internal/secmem")
 }
+
+// TestMapOrderCheckpoint: the snapshot codec's failure mode is map
+// order reaching the serialized byte stream — unsorted encode walks,
+// order-recording collects, and map-order event restore are flagged;
+// the sorted-walk idiom and integer totals are clean.
+func TestMapOrderCheckpoint(t *testing.T) {
+	analysistest.Run(t, maporder.Analyzer, "internal/checkpoint")
+}

@@ -1,0 +1,63 @@
+// Fixture: snapshot encoding walks maps of simulation state (cache
+// lines, dirty sets, pending events). Any walk that lets iteration
+// order reach the byte stream must be flagged; the collect-then-sort
+// idiom the real codec uses (checkpoint.SortedKeys) must stay clean.
+package checkpoint
+
+import (
+	"sort"
+
+	"internal/sim"
+)
+
+// encoder stands in for the snapshot byte-stream builder.
+type encoder struct{ buf []byte }
+
+func (e *encoder) Write(p []byte) (int, error) { e.buf = append(e.buf, p...); return len(p), nil }
+
+// encodeLinesUnsorted lets map order reach the snapshot bytes: two runs
+// of the same simulation would write different files.
+func encodeLinesUnsorted(e *encoder, lines map[uint64][]byte) {
+	for _, line := range lines {
+		e.Write(line) // want `Write inside a map range writes output in random iteration order`
+	}
+}
+
+// encodeLinesSorted is the sanctioned shape: collect keys, sort, walk.
+func encodeLinesSorted(e *encoder, lines map[uint64][]byte) {
+	keys := make([]uint64, 0, len(lines))
+	for k := range lines {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		e.Write(lines[k])
+	}
+}
+
+// collectDirty records iteration order in the returned slice — a
+// section written from it would differ run to run.
+func collectDirty(dirty map[uint64]bool) []uint64 {
+	var addrs []uint64
+	for a := range dirty {
+		addrs = append(addrs, a) // want `append to addrs inside a map range records random iteration order`
+	}
+	return addrs
+}
+
+// restoreUnsorted re-schedules restored events in map order, scrambling
+// the replayed timeline relative to the run that took the snapshot.
+func restoreUnsorted(eng *sim.Engine, pending map[uint64]func()) {
+	for at, fn := range pending {
+		eng.ScheduleAt(sim.Cycle(at), fn) // want `ScheduleAt inside a map range schedules events in random iteration order`
+	}
+}
+
+// checksumCount is order-insensitive (integer accumulation): clean.
+func checksumCount(sections map[string][]byte) uint64 {
+	var total uint64
+	for _, b := range sections {
+		total += uint64(len(b))
+	}
+	return total
+}

@@ -39,3 +39,11 @@ func TestServerAllowed(t *testing.T) {
 func TestCommandFlagged(t *testing.T) {
 	analysistest.Run(t, rawconc.Analyzer, "cmd/experiments")
 }
+
+// TestCheckpointFlagged: the snapshot codec stays single-threaded — a
+// concurrent walk of engine state could serialize a torn snapshot — so
+// internal/checkpoint is deliberately off the allowlist and its raw
+// primitives are flagged.
+func TestCheckpointFlagged(t *testing.T) {
+	analysistest.Run(t, rawconc.Analyzer, "internal/checkpoint")
+}

@@ -1,0 +1,24 @@
+// Fixture: internal/checkpoint is sim-critical and not on the rawconc
+// allowlist — snapshot encode/restore must stay single-threaded (a
+// concurrent walk of engine state could serialize a torn snapshot), so
+// every raw concurrency primitive is flagged.
+package checkpoint
+
+func parallelEncode(sections [][]byte) []byte {
+	done := make(chan []byte, len(sections)) // want `make\(chan\) in determinism-scoped package internal/checkpoint`
+	for _, s := range sections {
+		s := s
+		go func() { // want `go statement in determinism-scoped package internal/checkpoint`
+			done <- s // want `raw channel send in determinism-scoped package internal/checkpoint`
+		}()
+	}
+	var out []byte
+	for range sections {
+		out = append(out, <-done...) // want `raw channel receive in determinism-scoped package internal/checkpoint`
+	}
+	return out
+}
+
+func suppressed(done chan struct{}) {
+	<-done //simlint:ignore rawconc test-only completion latch, no snapshot bytes flow here
+}

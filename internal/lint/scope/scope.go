@@ -47,6 +47,7 @@ var simCritical = []string{
 	"internal/geom",
 	"internal/crypto", // covers internal/crypto/...
 	"internal/stats",
+	"internal/checkpoint", // snapshot codec: serializes sim state byte-stably
 }
 
 func under(norm, root string) bool {

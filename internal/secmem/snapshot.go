@@ -1,0 +1,170 @@
+package secmem
+
+import (
+	"fmt"
+
+	"github.com/plutus-gpu/plutus/internal/checkpoint"
+	"github.com/plutus-gpu/plutus/internal/geom"
+)
+
+// Snapshot encodes the engine's complete mutable state: the functional
+// DRAM image (ciphertexts and MACs), the stale-MAC / tamper / region
+// write-tracking maps, the split and compact counter stores, both
+// Merkle trees, every metadata cache, and the value cache. All maps are
+// walked in sorted key order so identical state is identical bytes.
+//
+// The engine must be quiescent — no in-flight datapath requests and no
+// fetches parked on MSHR exhaustion — because those hold closures that
+// cannot be serialized; snapshots are taken at drained epoch boundaries.
+// Scratch state (overflowPlain, hashScratch) is dead between drained
+// epochs and is deliberately not captured.
+func (e *Engine) Snapshot(enc *checkpoint.Encoder) error {
+	if e.pending != 0 || len(e.mshrWait) != 0 {
+		return fmt.Errorf("secmem: %d pending requests, %d MSHR waiters: %w",
+			e.pending, len(e.mshrWait), checkpoint.ErrNotQuiescent)
+	}
+	enc.U64(uint64(len(e.mem)))
+	for _, a := range checkpoint.SortedKeys(e.mem) {
+		enc.U64(uint64(a))
+		enc.Bytes(e.mem[a])
+	}
+	enc.U64(uint64(len(e.macs)))
+	for _, i := range checkpoint.SortedKeys(e.macs) {
+		enc.U64(i)
+		enc.U64(e.macs[i])
+	}
+	snapshotBoolMap(enc, e.macStale)
+	snapshotBoolMap(enc, e.ctrTampered)
+	snapshotBoolMap(enc, e.regionWritten)
+	if e.cfg.NoSecurity {
+		return nil
+	}
+	if err := e.split.Snapshot(enc); err != nil {
+		return err
+	}
+	if err := e.tree.Snapshot(enc); err != nil {
+		return err
+	}
+	for _, c := range []interface {
+		Snapshot(*checkpoint.Encoder) error
+	}{e.ctrCache, e.macCache, e.bmtCache} {
+		if err := c.Snapshot(enc); err != nil {
+			return err
+		}
+	}
+	if e.compact != nil {
+		if err := e.compact.Snapshot(enc); err != nil {
+			return err
+		}
+		if err := e.ctree.Snapshot(enc); err != nil {
+			return err
+		}
+		if err := e.cctrCache.Snapshot(enc); err != nil {
+			return err
+		}
+		if err := e.cbmtCache.Snapshot(enc); err != nil {
+			return err
+		}
+	}
+	if e.vcache != nil {
+		if err := e.vcache.Snapshot(enc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Restore decodes state written by Snapshot into an engine freshly
+// built from the same configuration. Runtime wiring — the DRAM channel,
+// stats sink, InitData hook, and the split store's OnOverflow callback —
+// is left exactly as New installed it.
+func (e *Engine) Restore(dec *checkpoint.Decoder) error {
+	if e.pending != 0 || len(e.mshrWait) != 0 {
+		return fmt.Errorf("secmem: restore into a busy engine: %w", checkpoint.ErrNotQuiescent)
+	}
+	nm := dec.U64()
+	mem := make(map[geom.Addr][]byte, nm)
+	for i := uint64(0); i < nm && dec.Err() == nil; i++ {
+		a := geom.Addr(dec.U64())
+		ct := dec.Bytes()
+		if len(ct) != geom.SectorSize && dec.Err() == nil {
+			return fmt.Errorf("secmem: sector %#x has %d bytes, want %d: %w",
+				uint64(a), len(ct), geom.SectorSize, checkpoint.ErrCorrupt)
+		}
+		mem[a] = ct
+	}
+	nmac := dec.U64()
+	macs := make(map[uint64]uint64, nmac)
+	for i := uint64(0); i < nmac && dec.Err() == nil; i++ {
+		k := dec.U64()
+		macs[k] = dec.U64()
+	}
+	macStale := restoreBoolMap(dec)
+	ctrTampered := restoreBoolMap(dec)
+	regionWritten := restoreBoolMap(dec)
+	if err := dec.Err(); err != nil {
+		return fmt.Errorf("secmem: %w", err)
+	}
+	e.mem = mem
+	e.macs = macs
+	e.macStale = macStale
+	e.ctrTampered = ctrTampered
+	e.regionWritten = regionWritten
+	if e.cfg.NoSecurity {
+		return nil
+	}
+	if err := e.split.Restore(dec); err != nil {
+		return err
+	}
+	if err := e.tree.Restore(dec); err != nil {
+		return err
+	}
+	for _, c := range []interface {
+		Restore(*checkpoint.Decoder) error
+	}{e.ctrCache, e.macCache, e.bmtCache} {
+		if err := c.Restore(dec); err != nil {
+			return err
+		}
+	}
+	if e.compact != nil {
+		if err := e.compact.Restore(dec); err != nil {
+			return err
+		}
+		if err := e.ctree.Restore(dec); err != nil {
+			return err
+		}
+		if err := e.cctrCache.Restore(dec); err != nil {
+			return err
+		}
+		if err := e.cbmtCache.Restore(dec); err != nil {
+			return err
+		}
+	}
+	if e.vcache != nil {
+		if err := e.vcache.Restore(dec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// snapshotBoolMap encodes a bool-valued map with full fidelity (keys
+// holding false are preserved, so a restored engine re-encodes to the
+// very same bytes).
+func snapshotBoolMap(enc *checkpoint.Encoder, m map[uint64]bool) {
+	enc.U64(uint64(len(m)))
+	for _, k := range checkpoint.SortedKeys(m) {
+		enc.U64(k)
+		enc.Bool(m[k])
+	}
+}
+
+func restoreBoolMap(dec *checkpoint.Decoder) map[uint64]bool {
+	n := dec.U64()
+	m := make(map[uint64]bool, n)
+	for i := uint64(0); i < n && dec.Err() == nil; i++ {
+		k := dec.U64()
+		m[k] = dec.Bool()
+	}
+	return m
+}

@@ -8,8 +8,10 @@ import (
 )
 
 // maxEventsPerJob bounds a subscriber channel so transition can always
-// send without blocking: a job emits at most one event per state plus
-// its creation event, far below this.
+// send without blocking: an unpreempted job emits at most one event per
+// state plus its creation event, far below this. Preemption adds two
+// events per requeue; a slow subscriber on a many-times-preempted job
+// loses intermediate events, never the terminal one it waits for.
 const maxEventsPerJob = 8
 
 // job is one accepted run moving through the queue. All mutable state
@@ -52,7 +54,7 @@ func (j *job) transitionLocked(state State, msg string) {
 	for _, ch := range j.subs {
 		select {
 		case ch <- ev:
-		default: // subscriber channel full — impossible under maxEventsPerJob
+		default: // subscriber channel full — only a many-times-preempted job gets here; drop
 		}
 	}
 	if state.Terminal() {
@@ -95,6 +97,13 @@ func (j *job) snapshot() RunStatus {
 		s.Error = j.err.Error()
 	}
 	return s
+}
+
+// currentState returns the job's lifecycle position.
+func (j *job) currentState() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
 }
 
 // result returns the settled outcome; ok is false until terminal.

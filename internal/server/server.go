@@ -3,12 +3,16 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"runtime"
 	"strconv"
 	"sync"
+	"time"
 
+	"github.com/plutus-gpu/plutus/internal/checkpoint"
 	"github.com/plutus-gpu/plutus/internal/harness"
 	"github.com/plutus-gpu/plutus/internal/secmem"
 	"github.com/plutus-gpu/plutus/internal/stats"
@@ -44,6 +48,18 @@ type Config struct {
 	// ProtectedBytes resolves scheme names (default 128 MiB, matching
 	// the harness default per-partition protected range).
 	ProtectedBytes uint64
+	// StateDir, when set, persists every job to disk: finished jobs keep
+	// serving their results after a daemon restart, and jobs that were
+	// queued or running when the daemon died are re-enqueued on boot (a
+	// checkpointing Backend resumes them from their last snapshot).
+	StateDir string
+	// PreemptSlice, when nonzero, bounds how long one job may hold a
+	// worker: past the slice the job's context is cancelled, and a
+	// Backend that parks the run with checkpoint.ErrPreempted sees the
+	// job re-enqueued behind the jobs that were waiting. Requires a
+	// Backend that checkpoints; without one the cancellation is ignored
+	// and the slice has no effect.
+	PreemptSlice time.Duration
 }
 
 // Server is the plutusd serving core. Create with New, mount Handler on
@@ -83,11 +99,47 @@ func New(cfg Config) *Server {
 	if cfg.ProtectedBytes == 0 {
 		cfg.ProtectedBytes = 128 << 20
 	}
+	var settled, requeue []*job
+	var maxID int
+	if cfg.StateDir != "" {
+		if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+			panic(fmt.Sprintf("server: state dir: %v", err))
+		}
+		var err error
+		settled, requeue, maxID, err = recoverState(cfg.StateDir, cfg.ProtectedBytes)
+		if err != nil {
+			panic(fmt.Sprintf("server: recover state: %v", err))
+		}
+	}
+	// Recovered unfinished jobs must all fit in the queue regardless of
+	// the configured depth, or boot would deadlock before workers start.
+	depth := cfg.QueueDepth
+	if len(requeue) > depth {
+		depth = len(requeue)
+	}
 	s := &Server{
 		cfg:     cfg,
-		queue:   make(chan *job, cfg.QueueDepth),
+		queue:   make(chan *job, depth),
 		jobs:    make(map[string]*job),
 		pending: make(map[string]*job),
+		nextID:  maxID,
+	}
+	for _, j := range settled {
+		s.jobs[j.id] = j
+		if j.currentState() == StateFailed {
+			s.failed++
+		} else {
+			s.completed++
+		}
+	}
+	for _, j := range requeue {
+		s.jobs[j.id] = j
+		if _, dup := s.pending[j.key]; !dup {
+			s.pending[j.key] = j
+		}
+		s.queue <- j
+		s.queued++
+		s.accepted++
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -97,9 +149,11 @@ func New(cfg Config) *Server {
 }
 
 // worker drains the queue until Drain closes it. Jobs run with a
-// background context: once accepted, a run is always carried to a
-// terminal state and its result kept for pickup — including during
-// drain, which is what makes SIGTERM lossless for in-flight work.
+// background context (bounded by Config.PreemptSlice when set): once
+// accepted, a run is always carried to a terminal state and its result
+// kept for pickup — including during drain, which is what makes SIGTERM
+// lossless for in-flight work. A job preempted at the end of its slice
+// goes back to the queue in its checkpointed state rather than settling.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for j := range s.queue {
@@ -107,26 +161,72 @@ func (s *Server) worker() {
 		s.queued--
 		s.inFlight++
 		s.mu.Unlock()
-		j.transition(StateRunning, "simulation started")
-		st, err := s.cfg.Backend.RunContext(context.Background(), j.req.Benchmark, j.sc)
+		for {
+			st, err := s.runSlice(j)
+			if errors.Is(err, checkpoint.ErrPreempted) && s.requeue(j) {
+				break
+			}
+			if errors.Is(err, checkpoint.ErrPreempted) {
+				// Queue full or draining: nothing is gained by parking the
+				// job, so give it another slice immediately (it resumes
+				// from the snapshot it just wrote).
+				continue
+			}
 
-		s.mu.Lock()
-		s.inFlight--
-		if s.pending[j.key] == j {
-			delete(s.pending, j.key)
-		}
-		if err != nil {
-			s.failed++
-		} else {
-			s.completed++
-		}
-		s.mu.Unlock()
-		if err != nil {
-			j.fail(err)
-		} else {
-			j.complete(st)
+			s.mu.Lock()
+			s.inFlight--
+			if s.pending[j.key] == j {
+				delete(s.pending, j.key)
+			}
+			if err != nil {
+				s.failed++
+			} else {
+				s.completed++
+			}
+			s.mu.Unlock()
+			if err != nil {
+				j.fail(err)
+			} else {
+				j.complete(st)
+			}
+			s.persist(j)
+			break
 		}
 	}
+}
+
+// runSlice executes one scheduling slice of j: the whole run when
+// PreemptSlice is zero, else up to one slice of it.
+func (s *Server) runSlice(j *job) (*stats.Stats, error) {
+	ctx := context.Background()
+	if s.cfg.PreemptSlice > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.PreemptSlice)
+		defer cancel()
+	}
+	j.transition(StateRunning, "simulation started")
+	return s.cfg.Backend.RunContext(ctx, j.req.Benchmark, j.sc)
+}
+
+// requeue puts a preempted job at the back of the queue, behind the
+// jobs that were waiting for its worker. Reports false (job must keep
+// its worker) when the queue is full or the server is draining. The
+// transition and persist happen before the job re-enters the queue:
+// once it is visible there, another worker may immediately mark it
+// running again.
+func (s *Server) requeue(j *job) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || len(s.queue) == cap(s.queue) {
+		return false
+	}
+	j.transition(StateQueued, "preempted at checkpoint; requeued")
+	s.persist(j)
+	// Cannot block: space was checked above, and every sender holds mu.
+	s.queue <- j
+	s.queued++
+	s.inFlight--
+	return true
 }
 
 // Drain stops accepting new runs, lets the workers finish every job
@@ -228,6 +328,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.queued++
 		s.accepted++
 		s.mu.Unlock()
+		s.persist(j)
 		writeJSON(w, http.StatusAccepted, j.snapshot())
 	default:
 		s.rejected++

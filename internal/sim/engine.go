@@ -133,3 +133,22 @@ func (e *Engine) Drain(maxEvents uint64) bool {
 	}
 	return true
 }
+
+// Clock returns the engine's clock state (current cycle, last executed
+// event cycle) for checkpointing. It is only meaningful — and only
+// deterministic — when the queue is empty: snapshots are taken at
+// drained epoch boundaries.
+func (e *Engine) Clock() (now, last Cycle) { return e.now, e.last }
+
+// RestoreClock resets the clock to a checkpointed value. The queue must
+// be empty: restoring under queued events would time-travel them. The
+// internal FIFO sequence counter is deliberately NOT restored — with an
+// empty queue only the relative order of future events matters, and
+// that is preserved starting from any counter value.
+func (e *Engine) RestoreClock(now, last Cycle) {
+	if len(e.events) != 0 {
+		panic("sim: RestoreClock with queued events")
+	}
+	e.now = now
+	e.last = last
+}

@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"fmt"
+
+	"github.com/plutus-gpu/plutus/internal/checkpoint"
+)
+
+// Snapshot encodes a Traffic accumulator, classes in declaration order.
+func (t *Traffic) Snapshot(enc *checkpoint.Encoder) {
+	for c := Class(0); c < numClasses; c++ {
+		enc.U64(t.ReadBytes[c])
+		enc.U64(t.WriteBytes[c])
+		enc.U64(t.Reads[c])
+		enc.U64(t.Writes[c])
+	}
+}
+
+// Restore decodes a Traffic accumulator in place. The receiver pointer
+// is preserved: components such as the DRAM channel hold aliases to the
+// partition's Traffic, so restoring must never replace the struct.
+func (t *Traffic) Restore(dec *checkpoint.Decoder) {
+	for c := Class(0); c < numClasses; c++ {
+		t.ReadBytes[c] = dec.U64()
+		t.WriteBytes[c] = dec.U64()
+		t.Reads[c] = dec.U64()
+		t.Writes[c] = dec.U64()
+	}
+}
+
+// Snapshot encodes a CacheStats block.
+func (c *CacheStats) Snapshot(enc *checkpoint.Encoder) {
+	enc.U64(c.Hits)
+	enc.U64(c.Misses)
+	enc.U64(c.MSHRMerges)
+	enc.U64(c.Evictions)
+	enc.U64(c.DirtyEvictions)
+}
+
+// Restore decodes a CacheStats block in place.
+func (c *CacheStats) Restore(dec *checkpoint.Decoder) {
+	c.Hits = dec.U64()
+	c.Misses = dec.U64()
+	c.MSHRMerges = dec.U64()
+	c.Evictions = dec.U64()
+	c.DirtyEvictions = dec.U64()
+}
+
+// Snapshot encodes a SecStats block, fields in declaration order.
+func (s *SecStats) Snapshot(enc *checkpoint.Encoder) {
+	enc.U64(s.ValueVerified)
+	enc.U64(s.MACVerified)
+	enc.U64(s.MACSkippedWrites)
+	enc.U64(s.MACWrites)
+	enc.U64(s.CompactHits)
+	enc.U64(s.CompactOverflow)
+	enc.U64(s.CompactDisabled)
+	enc.U64(s.BMTNodeVerifies)
+	enc.U64(s.TamperDetected)
+	enc.U64(s.ReplayDetected)
+}
+
+// Restore decodes a SecStats block in place.
+func (s *SecStats) Restore(dec *checkpoint.Decoder) {
+	s.ValueVerified = dec.U64()
+	s.MACVerified = dec.U64()
+	s.MACSkippedWrites = dec.U64()
+	s.MACWrites = dec.U64()
+	s.CompactHits = dec.U64()
+	s.CompactOverflow = dec.U64()
+	s.CompactDisabled = dec.U64()
+	s.BMTNodeVerifies = dec.U64()
+	s.TamperDetected = dec.U64()
+	s.ReplayDetected = dec.U64()
+}
+
+// Snapshot encodes a full Stats record.
+func (s *Stats) Snapshot(enc *checkpoint.Encoder) {
+	enc.String(s.Benchmark)
+	enc.String(s.Scheme)
+	enc.U64(s.Cycles)
+	enc.U64(s.Instructions)
+	enc.U64(s.MemInsts)
+	enc.U64(s.LoadInsts)
+	enc.U64(s.StoreInsts)
+	s.Traffic.Snapshot(enc)
+	s.Sec.Snapshot(enc)
+	s.L2.Snapshot(enc)
+	s.CounterCache.Snapshot(enc)
+	s.MACCache.Snapshot(enc)
+	s.BMTCache.Snapshot(enc)
+	s.CompactCache.Snapshot(enc)
+	s.CompactBMTC.Snapshot(enc)
+}
+
+// Restore decodes a full Stats record in place (see Traffic.Restore for
+// why in place matters) and reports any decode error.
+func (s *Stats) Restore(dec *checkpoint.Decoder) error {
+	s.Benchmark = dec.String()
+	s.Scheme = dec.String()
+	s.Cycles = dec.U64()
+	s.Instructions = dec.U64()
+	s.MemInsts = dec.U64()
+	s.LoadInsts = dec.U64()
+	s.StoreInsts = dec.U64()
+	s.Traffic.Restore(dec)
+	s.Sec.Restore(dec)
+	s.L2.Restore(dec)
+	s.CounterCache.Restore(dec)
+	s.MACCache.Restore(dec)
+	s.BMTCache.Restore(dec)
+	s.CompactCache.Restore(dec)
+	s.CompactBMTC.Restore(dec)
+	if err := dec.Err(); err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package valcache
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/plutus-gpu/plutus/internal/checkpoint"
+)
+
+// Snapshot encodes the cache's entries and statistics. Pinned entries
+// carry no ordering (they are never evicted), so they are written in
+// ascending key order; transient entries are written in exact LRU order,
+// least-recent first, so Restore can rebuild the intrusive list
+// identically — future evictions then pick the same victims.
+func (c *Cache) Snapshot(enc *checkpoint.Encoder) error {
+	var pinnedKeys []uint32
+	for k, e := range c.entries {
+		if e.pinned {
+			pinnedKeys = append(pinnedKeys, k)
+		}
+	}
+	// Collect-then-sort: iteration order above cannot leak.
+	sort.Slice(pinnedKeys, func(i, j int) bool { return pinnedKeys[i] < pinnedKeys[j] })
+	enc.U32(uint32(len(pinnedKeys)))
+	for _, k := range pinnedKeys {
+		enc.U32(k)
+		enc.U8(c.entries[k].use)
+	}
+	enc.U32(uint32(c.transient))
+	for e := c.lruTail; e != nil; e = e.prev {
+		enc.U32(e.key)
+		enc.U8(e.use)
+	}
+	enc.U64(c.Probes)
+	enc.U64(c.Hits)
+	enc.U64(c.PinnedHits)
+	enc.U64(c.Inserts)
+	enc.U64(c.Promotions)
+	enc.U64(c.Evictions)
+	return nil
+}
+
+// Restore decodes state written by Snapshot into a cache of the same
+// configuration, replacing all entries.
+func (c *Cache) Restore(dec *checkpoint.Decoder) error {
+	nPinned := dec.U32()
+	if err := dec.Err(); err != nil {
+		return fmt.Errorf("valcache: %w", err)
+	}
+	if int(nPinned) > c.pinCap {
+		return fmt.Errorf("valcache: snapshot has %d pinned entries, capacity %d: %w",
+			nPinned, c.pinCap, checkpoint.ErrMismatch)
+	}
+	entries := make(map[uint32]*entry, c.cfg.Entries)
+	c.lruHead, c.lruTail = nil, nil
+	for i := uint32(0); i < nPinned && dec.Err() == nil; i++ {
+		k := dec.U32()
+		entries[k] = &entry{key: k, use: dec.U8(), pinned: true}
+	}
+	nTrans := dec.U32()
+	c.entries = entries
+	c.pinned = int(nPinned)
+	c.transient = int(nTrans)
+	// Written least-recent first; each push-front leaves earlier (older)
+	// entries deeper in the list, ending with the most recent at the head.
+	for i := uint32(0); i < nTrans && dec.Err() == nil; i++ {
+		k := dec.U32()
+		e := &entry{key: k, use: dec.U8()}
+		entries[k] = e
+		c.listPushFront(e)
+	}
+	c.Probes = dec.U64()
+	c.Hits = dec.U64()
+	c.PinnedHits = dec.U64()
+	c.Inserts = dec.U64()
+	c.Promotions = dec.U64()
+	c.Evictions = dec.U64()
+	if err := dec.Err(); err != nil {
+		return fmt.Errorf("valcache: %w", err)
+	}
+	return nil
+}

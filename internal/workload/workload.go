@@ -333,3 +333,25 @@ func MustGet(name string) *Bench {
 	}
 	return b
 }
+
+// Cursor returns a copy of the per-warp instruction counters — the
+// benchmark's only mutable state. Together with (name, seed) it fully
+// determines the remaining instruction stream, which is what makes a
+// parked run resumable: gpusim checkpoints the cursor and restores it
+// with RestoreCursor.
+func (b *Bench) Cursor() []uint64 {
+	out := make([]uint64, len(b.step))
+	copy(out, b.step)
+	return out
+}
+
+// RestoreCursor replaces the per-warp instruction counters with a
+// checkpointed cursor. The cursor must match the benchmark's warp count.
+func (b *Bench) RestoreCursor(cur []uint64) error {
+	if len(cur) != len(b.step) {
+		return fmt.Errorf("workload %s: cursor has %d warps, benchmark has %d",
+			b.spec.Name, len(cur), len(b.step))
+	}
+	copy(b.step, cur)
+	return nil
+}
