@@ -32,10 +32,12 @@ import (
 	"time"
 
 	"github.com/plutus-gpu/plutus/internal/checkpoint"
+	"github.com/plutus-gpu/plutus/internal/geom"
 	"github.com/plutus-gpu/plutus/internal/gpusim"
 	"github.com/plutus-gpu/plutus/internal/harness"
 	"github.com/plutus-gpu/plutus/internal/secmem"
 	"github.com/plutus-gpu/plutus/internal/stats"
+	"github.com/plutus-gpu/plutus/internal/tamper"
 	"github.com/plutus-gpu/plutus/internal/workload"
 )
 
@@ -66,6 +68,23 @@ type checkpointReport struct {
 	ResumeMatch   bool   `json:"resume_match"`
 }
 
+// tamperReport records the fault-injection subsystem's cost and outcome
+// on one attacked run: plan expansion latency, how many ops landed, what
+// the scheme's verdict counters said, and whether sequential and
+// parallel partition execution replayed the attack bit-identically.
+type tamperReport struct {
+	Benchmark        string `json:"benchmark"`
+	Scheme           string `json:"scheme"`
+	PlanFingerprint  string `json:"plan_fingerprint"`
+	Ops              int    `json:"ops"`
+	ExpandNs         int64  `json:"expand_ns"`
+	Injected         uint64 `json:"injected"`
+	TaintedReads     uint64 `json:"tainted_reads"`
+	Detected         uint64 `json:"detected"` // MAC + tree verdicts
+	SilentCorruption uint64 `json:"silent_corruption"`
+	SeqParMatch      bool   `json:"seq_par_match"`
+}
+
 // report is the BENCH_ci.json schema.
 type report struct {
 	GOMAXPROCS      int               `json:"gomaxprocs"`
@@ -76,6 +95,7 @@ type report struct {
 	Speedup         float64           `json:"speedup"`
 	AllMatch        bool              `json:"all_match"`
 	Checkpoint      *checkpointReport `json:"checkpoint,omitempty"`
+	Tamper          *tamperReport     `json:"tamper,omitempty"`
 }
 
 // measureCheckpoint runs bench/sc three times at the gpusim layer:
@@ -165,6 +185,81 @@ func measureCheckpoint(bench string, sc secmem.Config, insts uint64) (*checkpoin
 	return rep, nil
 }
 
+// smokePlan is the attack schedule of the tamper micro-benchmark:
+// ciphertext flips and a counter rollback over the low protected range,
+// early enough that the short smoke runs revisit the targets.
+const smokePlan = `seed 6
+at cycle=1000 attack=sectorflip range=0x0:0x100000 count=12
+at cycle=1500 attack=bitflip range=0x0:0x100000 count=4
+at cycle=2000 attack=ctr-rollback range=0x0:0x100000 count=4
+`
+
+// measureTamper runs one attacked bench/sc simulation in sequential and
+// parallel partition mode and compares the outcomes: the attack must
+// land identically in both (ops apply at epoch boundaries), and the
+// scheme must never record a silent corruption.
+func measureTamper(bench string, sc secmem.Config, insts uint64) (*tamperReport, error) {
+	plan, err := tamper.Parse(smokePlan)
+	if err != nil {
+		return nil, err
+	}
+	runOnce := func(parallel bool) (*stats.Stats, *tamperReport, error) {
+		// A fresh workload instance per run: workloads are stateful.
+		wl, err := workload.Get(bench)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg := gpusim.ScaledConfig(sc)
+		cfg.Sec.ProtectedBytes = protected
+		cfg.MaxInstructions = insts
+		cfg.ParallelPartitions = parallel
+		il, err := geom.NewInterleaver(cfg.Partitions)
+		if err != nil {
+			return nil, nil, err
+		}
+		start := time.Now()
+		ops, err := plan.Expand(il, protected*uint64(cfg.Partitions))
+		if err != nil {
+			return nil, nil, err
+		}
+		expandNs := time.Since(start).Nanoseconds()
+		g, err := gpusim.New(cfg, wl)
+		if err != nil {
+			return nil, nil, err
+		}
+		g.ArmTamper(ops)
+		st := g.Run()
+		return st, &tamperReport{
+			Benchmark: bench, Scheme: sc.Scheme,
+			PlanFingerprint: plan.Fingerprint(),
+			Ops:             len(ops),
+			ExpandNs:        expandNs,
+			Injected:        st.Sec.TamperInjected,
+			TaintedReads:    st.Sec.TaintedReads,
+			Detected: st.Sec.Verdicts.Count(stats.VerdictDetectedByMAC) +
+				st.Sec.Verdicts.Count(stats.VerdictDetectedByBMT),
+			SilentCorruption: st.Sec.Verdicts.Count(stats.VerdictSilentCorruption),
+		}, nil
+	}
+	seqSt, rep, err := runOnce(false)
+	if err != nil {
+		return nil, err
+	}
+	parSt, _, err := runOnce(true)
+	if err != nil {
+		return nil, err
+	}
+	rep.SeqParMatch = *seqSt == *parSt
+	if !rep.SeqParMatch {
+		fmt.Fprintf(os.Stderr, "benchsmoke: TAMPER DIVERGENCE %s/%s:\nseq: %+v\npar: %+v\n",
+			bench, sc.Scheme, *seqSt, *parSt)
+	}
+	if rep.Injected != uint64(rep.Ops) {
+		return nil, fmt.Errorf("tamper %s/%s: %d of %d ops landed", bench, sc.Scheme, rep.Injected, rep.Ops)
+	}
+	return rep, nil
+}
+
 func main() {
 	var (
 		insts    = flag.Uint64("insts", 1500, "warp-instruction budget per run")
@@ -243,6 +338,19 @@ func main() {
 		rep.AllMatch = false
 	}
 
+	// Tamper micro-benchmark on the same representative run: the attack
+	// must replay identically across execution modes and never corrupt
+	// silently.
+	tk, err := measureTamper(benchList[0], scs[len(scs)-1], *insts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsmoke: tamper:", err)
+		os.Exit(1)
+	}
+	rep.Tamper = tk
+	if !tk.SeqParMatch || tk.SilentCorruption != 0 {
+		rep.AllMatch = false
+	}
+
 	blob, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchsmoke:", err)
@@ -258,6 +366,9 @@ func main() {
 	fmt.Printf("benchsmoke: checkpoint %s/%s: %d snapshots of %d B every %d cycles, save %s, restore %s, resume match=%v\n",
 		ck.Benchmark, ck.Scheme, ck.Snapshots, ck.SnapshotBytes, ck.EveryCycles,
 		time.Duration(ck.SaveNs), time.Duration(ck.RestoreNs), ck.ResumeMatch)
+	fmt.Printf("benchsmoke: tamper %s/%s: plan %s, %d ops (expand %s), tainted reads %d, detected %d, silent %d, seq/par match=%v\n",
+		tk.Benchmark, tk.Scheme, tk.PlanFingerprint, tk.Ops, time.Duration(tk.ExpandNs),
+		tk.TaintedReads, tk.Detected, tk.SilentCorruption, tk.SeqParMatch)
 
 	if !rep.AllMatch {
 		os.Exit(1)

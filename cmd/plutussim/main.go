@@ -21,6 +21,14 @@
 //
 //	plutussim -bench bfs -scheme plutus -checkpoint-dir /tmp/ckpt -checkpoint-every 100000
 //	plutussim -bench bfs -scheme plutus -checkpoint-dir /tmp/ckpt -checkpoint-every 100000 -resume
+//
+// With -tamper-plan FILE the run arms the adversarial fault injector:
+// the plan's attacks mutate DRAM-resident state at the given cycles and
+// the report gains tamper/verdict lines showing what each scheme
+// detected (see internal/tamper for the plan grammar). Plans are local
+// only and cannot be combined with -remote:
+//
+//	plutussim -bench bfs -scheme plutus -tamper-plan attack.plan
 package main
 
 import (
@@ -34,6 +42,7 @@ import (
 	"github.com/plutus-gpu/plutus/internal/secmem"
 	"github.com/plutus-gpu/plutus/internal/server"
 	"github.com/plutus-gpu/plutus/internal/server/client"
+	"github.com/plutus-gpu/plutus/internal/tamper"
 	"github.com/plutus-gpu/plutus/internal/workload"
 )
 
@@ -50,6 +59,7 @@ func main() {
 		ckptDir  = flag.String("checkpoint-dir", "", "directory for run snapshots (required with -checkpoint-every)")
 		ckptN    = flag.Uint64("checkpoint-every", 0, "snapshot the run every N cycles (0 = off; cadence affects timing, so compare runs at equal cadence)")
 		resume   = flag.Bool("resume", false, "resume from the snapshot in -checkpoint-dir if one exists")
+		tplan    = flag.String("tamper-plan", "", "tamper-injection plan file: mutate DRAM state mid-run and report detection verdicts (see internal/tamper)")
 	)
 	flag.Parse()
 
@@ -64,6 +74,24 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "plutussim:", err)
 		os.Exit(1)
+	}
+
+	var plan *tamper.Plan
+	if *tplan != "" {
+		if *remote != "" {
+			fmt.Fprintln(os.Stderr, "plutussim: -tamper-plan cannot be combined with -remote (plans run locally)")
+			os.Exit(1)
+		}
+		text, err := os.ReadFile(*tplan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "plutussim:", err)
+			os.Exit(1)
+		}
+		plan, err = tamper.Parse(string(text))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plutussim: %s: %v\n", *tplan, err)
+			os.Exit(1)
+		}
 	}
 
 	if *remote != "" {
@@ -91,6 +119,7 @@ func main() {
 		CheckpointEvery:    *ckptN,
 		CheckpointDir:      *ckptDir,
 		Resume:             *resume,
+		TamperPlan:         plan,
 	})
 	st, err := r.Run(*bench, sc)
 	if err != nil {

@@ -201,6 +201,19 @@ func (t *Tree) Path(u uint64) []NodeRef {
 	return path
 }
 
+// LeafForUnit returns the first DRAM-resident (non-root) node on unit
+// u's verification path — the node a physical attacker corrupts to break
+// the unit's freshness chain. ok is false when the tree is a bare root
+// (nothing but on-chip state covers the unit).
+func (t *Tree) LeafForUnit(u uint64) (NodeRef, bool) {
+	for _, ref := range t.Path(u) {
+		if !t.IsRoot(ref) {
+			return ref, true
+		}
+	}
+	return NodeRef{}, false
+}
+
 // Parent returns r's parent node; ok is false when r is the root.
 func (t *Tree) Parent(r NodeRef) (NodeRef, bool) {
 	if t.IsRoot(r) {

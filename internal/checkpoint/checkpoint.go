@@ -33,7 +33,13 @@ import "errors"
 // container layout or to any package's section encoding must bump it;
 // old snapshots are then rejected with ErrVersion rather than decoded
 // into misaligned state.
-const Version = 1
+// Version history:
+//
+//	1  initial PLUTSNAP format
+//	2  SecStats gained tamper-verdict counters (TamperInjected,
+//	   TaintedReads, Verdicts); secmem snapshots carry the taint maps;
+//	   the gpusim "gpu" section carries the applied-tamper-op index
+const Version = 2
 
 var (
 	// ErrTruncated reports a snapshot that ends before its trailer —

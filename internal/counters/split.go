@@ -91,6 +91,14 @@ func (s *SplitStore) Config() SplitConfig { return s.cfg }
 // GroupOf returns the group (counter-sector) index covering data sector i.
 func (s *SplitStore) GroupOf(i uint64) uint64 { return i / uint64(s.cfg.GroupSize) }
 
+// GroupSectors returns the data-sector index range [lo, hi) sharing group
+// gi's major counter — the blast radius of rolling back that counter
+// sector (tamper tests pick sibling sectors from it).
+func (s *SplitStore) GroupSectors(gi uint64) (lo, hi uint64) {
+	lo = gi * uint64(s.cfg.GroupSize)
+	return lo, lo + uint64(s.cfg.GroupSize)
+}
+
 func (s *SplitStore) groupFor(i uint64) *group {
 	gi := s.GroupOf(i)
 	g, ok := s.groups[gi]

@@ -31,7 +31,7 @@ type CheckpointSink func(cycle uint64, snapshot []byte) error
 // Snapshot section layout. The file is a checkpoint.File with:
 //
 //	"meta"      fingerprint string, snapshot cycle, next trigger, partition count
-//	"gpu"       SM engine clock, issue counters, SM/warp contexts, parked order
+//	"gpu"       SM engine clock, issue counters, SM/warp contexts, parked order, applied-tamper index
 //	"workload"  per-warp stream cursor
 //	"part<i>"   partition engine clock, L2 ladder, L2 tags+data, secmem, DRAM, stats
 //
@@ -88,12 +88,19 @@ func (g *GPU) RunWithCheckpoints(sink CheckpointSink) (*stats.Stats, error) {
 		if n >= 1<<34 {
 			panic("gpusim: event livelock")
 		}
+		// Fault injections land here, between windows, so the mutation
+		// point is deterministic and precedes any snapshot taken below.
+		g.applyDueTamper(false)
 		if g.cfg.CheckpointEvery > 0 && uint64(g.cluster.LastEventAt()) >= g.nextCkpt {
 			if err := g.takeCheckpoint(sink); err != nil {
 				return nil, err
 			}
 		}
 	}
+
+	// Apply any ops the budget never reached: the injected-op ground
+	// truth must match the plan, not how far the workload got.
+	g.applyDueTamper(true)
 
 	// Final writeback accounting: flush dirty L2, then dirty metadata.
 	// Each flush runs on its partition's own shard (and hence in
@@ -259,6 +266,7 @@ func (g *GPU) WriteSnapshot() ([]byte, error) {
 	for _, w := range g.parked {
 		ge.U32(uint32(w.id))
 	}
+	ge.U32(uint32(g.tamperApplied))
 	f.Add("gpu", ge.Data())
 
 	we := checkpoint.NewEncoder()
@@ -373,6 +381,7 @@ func ResumeSnapshot(cfg Config, wl Workload, data []byte) (*GPU, error) {
 		}
 		parked = append(parked, id)
 	}
+	g.tamperApplied = int(gd.U32())
 	if err := gd.Finish(); err != nil {
 		return nil, fmt.Errorf("gpusim: gpu section: %w", err)
 	}

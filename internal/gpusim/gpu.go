@@ -48,6 +48,13 @@ type GPU struct {
 	parked         []*warpCtx
 	restoredParked []int
 	nextCkpt       uint64
+
+	// Fault-injection schedule (see tamper.go). tamperApplied is the
+	// count of ops already applied; it is part of the snapshot so a
+	// resumed run does not re-apply ops its snapshot already contains.
+	tamperOps     []TamperOp
+	tamperApplied int
+	tamperLog     []TamperRecord
 }
 
 // partition is one memory-side shard. All fields are owned by the

@@ -17,9 +17,11 @@ import (
 	"sync"
 
 	"github.com/plutus-gpu/plutus/internal/checkpoint"
+	"github.com/plutus-gpu/plutus/internal/geom"
 	"github.com/plutus-gpu/plutus/internal/gpusim"
 	"github.com/plutus-gpu/plutus/internal/secmem"
 	"github.com/plutus-gpu/plutus/internal/stats"
+	"github.com/plutus-gpu/plutus/internal/tamper"
 	"github.com/plutus-gpu/plutus/internal/workload"
 )
 
@@ -58,6 +60,14 @@ type Config struct {
 	// CheckpointDir instead of starting it from cycle zero. Completed
 	// runs delete their snapshot, so only interrupted runs resume.
 	Resume bool
+
+	// TamperPlan arms an adversarial fault-injection schedule on every
+	// run (see internal/tamper): DRAM-resident state is mutated at the
+	// plan's cycles and the engines' detection verdicts land in the
+	// stats. The plan fingerprint is part of the run cache key, and the
+	// false-alarm gate (which treats any detection in a benign run as a
+	// harness bug) is lifted — detections are the measurement.
+	TamperPlan *tamper.Plan
 }
 
 // DefaultConfig returns the sweep configuration used by cmd/experiments.
@@ -157,6 +167,11 @@ func (r *Runner) key(bench string, sc secmem.Config) string {
 		// Checkpoint drains perturb timing; keep cadenced runs in their
 		// own cache lineage (and their own snapshot files).
 		k += fmt.Sprintf("|ckpt=%d", r.cfg.CheckpointEvery)
+	}
+	if r.cfg.TamperPlan != nil {
+		// Two runs share a cache entry only under identical attack
+		// schedules.
+		k += "|tamper=" + r.cfg.TamperPlan.Fingerprint()
 	}
 	return k
 }
@@ -282,6 +297,22 @@ func (r *Runner) simulate(ctx context.Context, bench string, sc secmem.Config) (
 			return nil, fmt.Errorf("harness: %s/%s: %w", bench, sc.Scheme, err)
 		}
 	}
+	if r.cfg.TamperPlan != nil {
+		// Plan addresses live in the interleaved global protected space
+		// spanning all partitions. Arming after resume is required too:
+		// the schedule is not part of the snapshot, only the count of
+		// already-applied ops is, so a resumed run re-arms and continues
+		// from that index.
+		il, ierr := geom.NewInterleaver(gcfg.Partitions)
+		if ierr != nil {
+			return nil, fmt.Errorf("harness: %s/%s: %w", bench, sc.Scheme, ierr)
+		}
+		ops, terr := r.cfg.TamperPlan.Expand(il, gcfg.Sec.ProtectedBytes*uint64(gcfg.Partitions))
+		if terr != nil {
+			return nil, fmt.Errorf("harness: %s/%s: %w", bench, sc.Scheme, terr)
+		}
+		g.ArmTamper(ops)
+	}
 
 	var sink gpusim.CheckpointSink
 	if snapPath != "" {
@@ -306,7 +337,7 @@ func (r *Runner) simulate(ctx context.Context, bench string, sc secmem.Config) (
 		// Completed: the snapshot would only shadow future identical runs.
 		os.Remove(snapPath)
 	}
-	if st.Sec.TamperDetected != 0 || st.Sec.ReplayDetected != 0 {
+	if r.cfg.TamperPlan == nil && (st.Sec.TamperDetected != 0 || st.Sec.ReplayDetected != 0) {
 		return nil, fmt.Errorf("harness: %s/%s: false security alarms: %+v", bench, sc.Scheme, st.Sec)
 	}
 	return st, nil

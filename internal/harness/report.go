@@ -54,6 +54,16 @@ func Report(st *stats.Stats, sc secmem.Config) string {
 		fmt.Fprintf(&b, "integrity: tree-node verifications %d, tamper %d, replay %d\n",
 			st.Sec.BMTNodeVerifies, st.Sec.TamperDetected, st.Sec.ReplayDetected)
 	}
+	// Attack-run lines appear only when an injector ran, so every benign
+	// report stays byte-identical to pre-tamper-subsystem output.
+	if st.Sec.TamperInjected > 0 || st.Sec.Verdicts.Total() > 0 {
+		fmt.Fprintf(&b, "tamper: injected %d, tainted reads %d\n", st.Sec.TamperInjected, st.Sec.TaintedReads)
+		b.WriteString("verdicts:")
+		for _, v := range stats.VerdictKinds() {
+			fmt.Fprintf(&b, " %s %d", v, st.Sec.Verdicts.Count(v))
+		}
+		b.WriteByte('\n')
+	}
 	em := stats.DefaultEnergyModel()
 	fmt.Fprintf(&b, "average power (arbitrary units): %.1f\n", em.Power(st))
 	return b.String()

@@ -1,0 +1,145 @@
+package harness
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"testing"
+
+	"github.com/plutus-gpu/plutus/internal/checkpoint"
+	"github.com/plutus-gpu/plutus/internal/secmem"
+	"github.com/plutus-gpu/plutus/internal/stats"
+	"github.com/plutus-gpu/plutus/internal/tamper"
+)
+
+// testPlan is the attack schedule the harness-level tests arm: ciphertext
+// flips plus a counter rollback over the low range of the global
+// protected space, early enough that the stream workloads revisit the
+// targets.
+const testPlanText = `seed 6
+at cycle=1000 attack=sectorflip range=0x0:0x100000 count=12
+at cycle=1500 attack=bitflip range=0x0:0x100000 count=4
+at cycle=2000 attack=ctr-rollback range=0x0:0x100000 count=4
+`
+
+func testPlan(t *testing.T) *tamper.Plan {
+	t.Helper()
+	p, err := tamper.Parse(testPlanText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestTamperRunDetects: an attacked full-pipeline run applies the whole
+// schedule, and the integrity scheme never lets a tainted read through
+// silently.
+func TestTamperRunDetects(t *testing.T) {
+	r := NewRunner(Config{
+		MaxInstructions: 6000,
+		Benchmarks:      []string{"stream"},
+		TamperPlan:      testPlan(t),
+	})
+	st, err := r.Run("stream", secmem.Plutus(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sec.TamperInjected != 20 {
+		t.Errorf("injected %d ops, want all 20", st.Sec.TamperInjected)
+	}
+	if n := st.Sec.Verdicts.Count(stats.VerdictSilentCorruption); n != 0 {
+		t.Errorf("%d silent corruptions on an integrity scheme", n)
+	}
+}
+
+// TestTamperParallelMatchesSequential: tamper ops land at epoch
+// boundaries with every shard parked, so parallel-partition execution
+// must replay the attacked run bit-identically to sequential execution.
+func TestTamperParallelMatchesSequential(t *testing.T) {
+	run := func(parallel bool) string {
+		r := NewRunner(Config{
+			MaxInstructions:    6000,
+			Benchmarks:         []string{"stream"},
+			ParallelPartitions: parallel,
+			TamperPlan:         testPlan(t),
+		})
+		st, err := r.Run("stream", secmem.Plutus(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var js bytes.Buffer
+		if err := WriteRunJSON(&js, st); err != nil {
+			t.Fatal(err)
+		}
+		return js.String()
+	}
+	if seq, par := run(false), run(true); seq != par {
+		t.Errorf("attacked run diverges between sequential and parallel partitions:\nseq: %s\npar: %s", seq, par)
+	}
+}
+
+// TestTamperResumeByteIdentical extends the harness replay guarantee to
+// attacked runs: a run preempted at a checkpoint mid-attack and resumed
+// by a fresh Runner (which re-arms the plan; the snapshot records only
+// the applied-op index) renders byte-identical reports to an
+// uninterrupted attacked run.
+func TestTamperResumeByteIdentical(t *testing.T) {
+	sc := secmem.Plutus(0)
+	cfg := func(dir string, resume bool) Config {
+		c := ckptHarnessCfg(dir, resume)
+		c.TamperPlan = testPlan(t)
+		return c
+	}
+	render := func(r *Runner) string {
+		st, err := r.Run("stream", sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var js bytes.Buffer
+		if err := WriteRunJSON(&js, st); err != nil {
+			t.Fatal(err)
+		}
+		return js.String() + "\n" + Report(st, sc)
+	}
+
+	ref := render(NewRunner(cfg(t.TempDir(), false)))
+
+	dir := t.TempDir()
+	preempted := NewRunner(cfg(dir, false))
+	if _, err := preempted.RunContext(newCancelInFlight(), "stream", sc); !errors.Is(err, checkpoint.ErrPreempted) {
+		t.Fatalf("err = %v, want ErrPreempted", err)
+	}
+	if _, err := os.Stat(preempted.SnapshotPath("stream", sc)); err != nil {
+		t.Fatalf("no snapshot left behind: %v", err)
+	}
+	if got := render(NewRunner(cfg(dir, true))); got != ref {
+		t.Errorf("attacked resume diverges:\nref:\n%s\nresumed:\n%s", ref, got)
+	}
+}
+
+// TestTamperPlanCacheKey: runs under different plans (or none) must not
+// share cache entries, while identical plans must.
+func TestTamperPlanCacheKey(t *testing.T) {
+	benign := NewRunner(Config{Benchmarks: []string{"stream"}})
+	attacked := NewRunner(Config{Benchmarks: []string{"stream"}, TamperPlan: testPlan(t)})
+	sc := secmem.Plutus(0)
+	sc.ProtectedBytes = benign.Config().ProtectedBytes
+
+	kBenign := benign.key("stream", sc)
+	kAttack := attacked.key("stream", sc)
+	if kBenign == kAttack {
+		t.Errorf("benign and attacked runs share cache key %q", kBenign)
+	}
+	other, err := tamper.Parse("seed 7\nat cycle=1 attack=bitflip addr=0x0 bit=0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kOther := NewRunner(Config{Benchmarks: []string{"stream"}, TamperPlan: other}).key("stream", sc)
+	if kOther == kAttack {
+		t.Errorf("different plans share cache key %q", kAttack)
+	}
+	same := NewRunner(Config{Benchmarks: []string{"stream"}, TamperPlan: testPlan(t)}).key("stream", sc)
+	if same != kAttack {
+		t.Errorf("identical plans disagree on cache key: %q vs %q", same, kAttack)
+	}
+}

@@ -48,6 +48,7 @@ var simCritical = []string{
 	"internal/crypto", // covers internal/crypto/...
 	"internal/stats",
 	"internal/checkpoint", // snapshot codec: serializes sim state byte-stably
+	"internal/tamper",     // attack plans: expansion must replay bit-identically
 }
 
 func under(norm, root string) bool {

@@ -29,6 +29,7 @@ func TestScopes(t *testing.T) {
 		{mod("internal/gpusim"), true, true, true, true},
 		{mod("internal/secmem"), true, true, true, true},
 		{mod("internal/crypto/siphash"), true, true, true, true},
+		{mod("internal/tamper"), true, true, true, true},
 		{mod("internal/harness"), false, true, false, true},
 		{ModulePath, false, true, true, true}, // module root: determinism tests
 		// rawconc is module-wide default-deny: commands and examples off

@@ -68,6 +68,13 @@ func (e *Engine) Read(local geom.Addr, done func(ReadResult)) {
 
 	if e.cfg.NoSecurity {
 		e.ch.Access(local, false, stats.Data, func() {
+			// No verification exists: a read of attacker-mutated data
+			// succeeds and returns the corruption — the baseline's
+			// defining failure.
+			if e.taintData[e.sectorIdx(local)] {
+				e.st.Sec.TaintedReads++
+				e.st.Sec.Verdicts.Record(stats.VerdictSilentCorruption)
+			}
 			finish(ReadResult{Data: e.plaintextOf(local), OK: true})
 		})
 		return
@@ -92,10 +99,15 @@ func (e *Engine) Read(local geom.Addr, done func(ReadResult)) {
 func (e *Engine) completeRead(local geom.Addr, freshOK bool, finish func(ReadResult)) {
 	i := e.sectorIdx(local)
 	pt := e.plaintextOf(local)
+	tainted := e.taintData[i]
+	if tainted {
+		e.st.Sec.TaintedReads++
+	}
 
 	if !freshOK {
-		// Counter verification already failed: replay detected.
+		// Counter/tree verification already failed: replay detected.
 		e.st.Sec.ReplayDetected++
+		e.st.Sec.Verdicts.Record(stats.VerdictDetectedByBMT)
 		finish(ReadResult{Data: pt, OK: false})
 		return
 	}
@@ -104,6 +116,12 @@ func (e *Engine) completeRead(local geom.Addr, freshOK bool, finish func(ReadRes
 		res := e.vcache.VerifySector(pt)
 		if res.Verified {
 			e.st.Sec.ValueVerified++
+			if tainted {
+				// Mutated ciphertext decrypted to words that still
+				// cleared the match threshold: a false accept, the event
+				// the paper's Eq. 1 bounds.
+				e.st.Sec.Verdicts.Record(stats.VerdictAcceptedByValueCache)
+			}
 			e.vcache.ObserveSector(pt)
 			finish(ReadResult{Data: pt, OK: true, ValueVerified: true})
 			return
@@ -127,12 +145,19 @@ func (e *Engine) completeRead(local geom.Addr, freshOK bool, finish func(ReadRes
 				// guarantee logic is unsound or an attacker interfered.
 				ok = false
 				e.st.Sec.TamperDetected++
+				e.st.Sec.Verdicts.Record(stats.VerdictDetectedByMAC)
 				if debugGuarantee != nil {
 					debugGuarantee(e, local, pt)
 				}
 			} else if mismatch {
 				ok = false
 				e.st.Sec.TamperDetected++
+				e.st.Sec.Verdicts.Record(stats.VerdictDetectedByMAC)
+			} else if tainted {
+				// Tainted data sailed through MAC comparison — the
+				// failure an integrity-enabled scheme must never produce
+				// (the differential oracle asserts this stays zero).
+				e.st.Sec.Verdicts.Record(stats.VerdictSilentCorruption)
 			}
 			if e.vcache != nil {
 				e.vcache.ObserveSector(pt)
@@ -161,6 +186,7 @@ func (e *Engine) Writeback(local geom.Addr, data []byte, done func()) {
 		pt := make([]byte, geom.SectorSize)
 		copy(pt, data)
 		e.mem[local] = pt
+		delete(e.taintData, e.sectorIdx(local)) // overwritten: corruption gone
 		e.ch.Access(local, true, stats.Data, func() { finish() })
 		return
 	}
@@ -176,6 +202,15 @@ func (e *Engine) Writeback(local geom.Addr, data []byte, done func()) {
 	freshOK := true
 	j := &join{}
 	j.then = func() {
+		if !freshOK {
+			// The counter fetched for this write failed freshness
+			// verification. The controller raises the alarm; the write
+			// itself still commits, rewriting the unit with fresh state
+			// (see dirtyOriginalCounter), as real hardware would after
+			// flagging the violation.
+			e.st.Sec.ReplayDetected++
+			e.st.Sec.Verdicts.Record(stats.VerdictDetectedByBMT)
+		}
 		e.commitWrite(local, pt, finish)
 	}
 	// The counter must be on-chip (and verified) before it is bumped.
@@ -191,6 +226,10 @@ func (e *Engine) commitWrite(local geom.Addr, pt []byte, finish func()) {
 	e.bumpCounter(local)
 	ct := e.storeCiphertext(local, pt)
 	_ = ct
+	// The sector's DRAM copy (and MAC, below) is rewritten wholesale:
+	// any earlier mutation of it is gone.
+	delete(e.taintData, i)
+	delete(e.taintMeta, i)
 
 	if e.compact == nil {
 		e.dirtyOriginalCounter(i)
@@ -205,10 +244,13 @@ func (e *Engine) commitWrite(local geom.Addr, pt []byte, finish func()) {
 		justSaturated := e.split.Minor(i) == sat && e.split.Major(e.split.GroupOf(i)) == 0
 		if out == counters.ServedCompact || justSaturated {
 			// The compact value changed: dirty the compact sector and
-			// update the small tree.
+			// update the small tree. Writing the unit replaces any
+			// attacker-replayed DRAM copy with fresh state.
 			cca := e.cctrSectorAddr(i)
 			e.handleEvictions(e.cctrCache.Insert(cca, e.cctrCache.MaskFor(cca), true), stats.CompactCounter, false)
-			e.ctree.SetUnitHash(e.cctrUnitOf(i), e.compactUnitHash(e.cctrUnitOf(i)))
+			cu := e.cctrUnitOf(i)
+			delete(e.cctrReplayed, cu)
+			e.ctree.SetUnitHash(cu, e.compactUnitHash(cu))
 		}
 		if out != counters.ServedCompact {
 			// Saturated or disabled: this write lives in the originals.
@@ -258,6 +300,8 @@ func (e *Engine) dirtyOriginalCounter(i uint64) {
 	ca := e.ctrSectorAddr(i)
 	e.handleEvictions(e.ctrCache.Insert(ca, e.ctrCache.MaskFor(ca), true), stats.Counter, false)
 	u := e.ctrUnitOf(i)
+	// Writing the unit replaces any attacker-replayed DRAM copy.
+	delete(e.ctrReplayed, u)
 	e.tree.SetUnitHash(u, e.counterUnitHash(u))
 	if e.cfg.EagerTreeUpdate && !e.cfg.NoTreeTraffic {
 		e.eagerWritePath(e.tree, e.lay.bmtBase, u, stats.BMT)
@@ -288,6 +332,7 @@ func (e *Engine) refreshDisabledBlockHashes(i uint64) {
 		u := e.ctrUnitOf(s)
 		if !seen[u] {
 			seen[u] = true
+			delete(e.ctrReplayed, u) // propagation rewrites the unit
 			e.tree.SetUnitHash(u, e.counterUnitHash(u))
 		}
 	}
@@ -386,7 +431,7 @@ func (e *Engine) fetchCounterUnit(i uint64, j *join, freshOK *bool) {
 		*freshOK = false
 	}
 	if !e.cfg.NoTreeTraffic {
-		e.walkTree(e.tree, e.bmtCache, e.lay.bmtBase, u, stats.BMT, j)
+		e.walkTree(e.tree, e.bmtCache, e.lay.bmtBase, u, stats.BMT, j, freshOK)
 	}
 }
 
@@ -406,14 +451,15 @@ func (e *Engine) fetchCompactUnit(i uint64, j *join, freshOK *bool) {
 		*freshOK = false
 	}
 	if !e.cfg.NoTreeTraffic {
-		e.walkTree(e.ctree, e.cbmtCache, e.lay.cbmtBase, u, stats.CompactBMT, j)
+		e.walkTree(e.ctree, e.cbmtCache, e.lay.cbmtBase, u, stats.CompactBMT, j, freshOK)
 	}
 }
 
 // walkTree performs the verification walk for counter unit u: fetch tree
 // nodes bottom-up until one hits in the (verified) metadata cache or the
-// on-chip root is reached.
-func (e *Engine) walkTree(t *bmt.Tree, mc *cache.Cache, base geom.Addr, u uint64, cl stats.Class, j *join) {
+// on-chip root is reached. Fetching a node whose DRAM copy an attacker
+// corrupted fails verification against its parent and clears freshOK.
+func (e *Engine) walkTree(t *bmt.Tree, mc *cache.Cache, base geom.Addr, u uint64, cl stats.Class, j *join, freshOK *bool) {
 	for _, ref := range t.Path(u) {
 		if t.IsRoot(ref) {
 			break // root is on-chip: free and always trusted
@@ -425,6 +471,9 @@ func (e *Engine) walkTree(t *bmt.Tree, mc *cache.Cache, base geom.Addr, u uint64
 			break                               // verified boundary reached
 		}
 		e.st.Sec.BMTNodeVerifies++
+		if e.bmtTampered[na] {
+			*freshOK = false
+		}
 		e.fetchMetaJoin(mc, na, nodeMask, cl, j)
 	}
 }
@@ -578,33 +627,6 @@ func (e *Engine) propagateNodeDirty(t *bmt.Tree, mc *cache.Cache, base geom.Addr
 	slot := ref.Index % uint64(t.Config().Arity())
 	na := base + t.NodeAddr(parent) + geom.Addr(slot*bmt.HashBytes/geom.SectorSize*geom.SectorSize)
 	e.markNodeDirty(mc, na, cl)
-}
-
-// --- tamper-injection API (tests and the tamperdetect example) ---
-
-// TamperData flips one bit of sector local's stored ciphertext, modelling
-// a physical attack on the memory module.
-func (e *Engine) TamperData(local geom.Addr, bit uint) {
-	local = geom.SectorAddr(local)
-	ct := e.materialize(local)
-	ct[bit/8%geom.SectorSize] ^= 1 << (bit % 8)
-}
-
-// TamperMAC corrupts sector local's stored MAC.
-func (e *Engine) TamperMAC(local geom.Addr) {
-	i := e.sectorIdx(geom.SectorAddr(local))
-	e.materialize(local)
-	e.macs[i] ^= 1
-}
-
-// ReplayCounter models an attacker substituting an old counter value for
-// sector local's counter unit in memory: the unit's recomputed hash no
-// longer matches the tree.
-func (e *Engine) ReplayCounter(local geom.Addr) {
-	i := e.sectorIdx(geom.SectorAddr(local))
-	e.ctrTampered[e.ctrUnitOf(i)] = true
-	// Evict the unit so the next access must refetch and verify it.
-	e.ctrCache.Invalidate(e.ctrUnitAddr(e.ctrUnitOf(i)))
 }
 
 // FlushDirtyMetadata writes back all dirty metadata (end-of-run

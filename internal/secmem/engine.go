@@ -64,9 +64,23 @@ type Engine struct {
 	// macStale marks sectors whose DRAM MAC was deliberately not updated
 	// because the write carried the value-verification guarantee.
 	macStale map[uint64]bool
-	// ctrTampered marks counter units whose DRAM copy an attacker altered
-	// or replayed (test hook): their recomputed hash is perturbed.
-	ctrTampered map[uint64]bool
+	// taintData marks data sectors whose DRAM ciphertext an attacker
+	// mutated (flips, splices): their decrypted plaintext is compromised
+	// until the next writeback overwrites the sector. It is the ground
+	// truth the read path classifies verdicts against.
+	taintData map[uint64]bool
+	// taintMeta marks sectors whose DRAM MAC an attacker corrupted; the
+	// data itself is still authentic.
+	taintMeta map[uint64]bool
+	// ctrReplayed marks counter units whose DRAM copy an attacker rolled
+	// back to the boot image (all counters zero): verification recomputes
+	// the stale copy's hash until the controller rewrites the unit.
+	ctrReplayed map[uint64]bool
+	// cctrReplayed is ctrReplayed for the compact counter region.
+	cctrReplayed map[uint64]bool
+	// bmtTampered marks DRAM-resident tree nodes (by local address) an
+	// attacker corrupted: fetching one fails parent verification.
+	bmtTampered map[geom.Addr]bool
 	// regionWritten is the common-counters on-chip write tracker.
 	regionWritten map[uint64]bool
 
@@ -121,7 +135,11 @@ func New(cfg Config, eng *sim.Engine, ch *dram.Channel, st *stats.Stats) (*Engin
 		mem:           make(map[geom.Addr][]byte),
 		macs:          make(map[uint64]uint64),
 		macStale:      make(map[uint64]bool),
-		ctrTampered:   make(map[uint64]bool),
+		taintData:     make(map[uint64]bool),
+		taintMeta:     make(map[uint64]bool),
+		ctrReplayed:   make(map[uint64]bool),
+		cctrReplayed:  make(map[uint64]bool),
+		bmtTampered:   make(map[geom.Addr]bool),
 		regionWritten: make(map[uint64]bool),
 		overflowPlain: make(map[geom.Addr][]byte),
 	}
@@ -306,13 +324,15 @@ func (e *Engine) freshUnitHash(u uint64) uint64 {
 	return e.hashCounterUnit(u, true)
 }
 
-// counterUnitHash recomputes unit u's hash from current counter state.
+// counterUnitHash recomputes the hash of unit u's DRAM-resident copy
+// from current counter state. A replayed unit hashes as the boot image
+// (all counters zero) — the attacker substituted the stale initial copy
+// — so verification against the tree fails exactly when the unit has
+// been written since boot. The mark is cleared when the controller next
+// writes the unit (see dirtyOriginalCounter), which replaces the DRAM
+// copy with fresh state.
 func (e *Engine) counterUnitHash(u uint64) uint64 {
-	h := e.hashCounterUnit(u, false)
-	if e.ctrTampered[u] {
-		return h ^ 1 // attacker-perturbed DRAM copy
-	}
-	return h
+	return e.hashCounterUnit(u, e.ctrReplayed[u])
 }
 
 // hashCounterUnit hashes unit u's serialized counter contents as they
@@ -371,9 +391,10 @@ func (e *Engine) freshCompactUnitHash(u uint64) uint64 {
 	return e.hashCompactUnit(u, true)
 }
 
-// compactUnitHash recomputes compact unit u's hash.
+// compactUnitHash recomputes the hash of compact unit u's DRAM-resident
+// copy; a replayed unit hashes as the boot image (see counterUnitHash).
 func (e *Engine) compactUnitHash(u uint64) uint64 {
-	return e.hashCompactUnit(u, false)
+	return e.hashCompactUnit(u, e.cctrReplayed[u])
 }
 
 // hashCompactUnit hashes compact unit u's counter values (contents only,

@@ -34,7 +34,11 @@ func (e *Engine) Snapshot(enc *checkpoint.Encoder) error {
 		enc.U64(e.macs[i])
 	}
 	snapshotBoolMap(enc, e.macStale)
-	snapshotBoolMap(enc, e.ctrTampered)
+	snapshotBoolMap(enc, e.taintData)
+	snapshotBoolMap(enc, e.taintMeta)
+	snapshotBoolMap(enc, e.ctrReplayed)
+	snapshotBoolMap(enc, e.cctrReplayed)
+	snapshotAddrBoolMap(enc, e.bmtTampered)
 	snapshotBoolMap(enc, e.regionWritten)
 	if e.cfg.NoSecurity {
 		return nil
@@ -100,7 +104,11 @@ func (e *Engine) Restore(dec *checkpoint.Decoder) error {
 		macs[k] = dec.U64()
 	}
 	macStale := restoreBoolMap(dec)
-	ctrTampered := restoreBoolMap(dec)
+	taintData := restoreBoolMap(dec)
+	taintMeta := restoreBoolMap(dec)
+	ctrReplayed := restoreBoolMap(dec)
+	cctrReplayed := restoreBoolMap(dec)
+	bmtTampered := restoreAddrBoolMap(dec)
 	regionWritten := restoreBoolMap(dec)
 	if err := dec.Err(); err != nil {
 		return fmt.Errorf("secmem: %w", err)
@@ -108,7 +116,11 @@ func (e *Engine) Restore(dec *checkpoint.Decoder) error {
 	e.mem = mem
 	e.macs = macs
 	e.macStale = macStale
-	e.ctrTampered = ctrTampered
+	e.taintData = taintData
+	e.taintMeta = taintMeta
+	e.ctrReplayed = ctrReplayed
+	e.cctrReplayed = cctrReplayed
+	e.bmtTampered = bmtTampered
 	e.regionWritten = regionWritten
 	if e.cfg.NoSecurity {
 		return nil
@@ -164,6 +176,25 @@ func restoreBoolMap(dec *checkpoint.Decoder) map[uint64]bool {
 	m := make(map[uint64]bool, n)
 	for i := uint64(0); i < n && dec.Err() == nil; i++ {
 		k := dec.U64()
+		m[k] = dec.Bool()
+	}
+	return m
+}
+
+// snapshotAddrBoolMap is snapshotBoolMap for address-keyed taint state.
+func snapshotAddrBoolMap(enc *checkpoint.Encoder, m map[geom.Addr]bool) {
+	enc.U64(uint64(len(m)))
+	for _, k := range checkpoint.SortedKeys(m) {
+		enc.U64(uint64(k))
+		enc.Bool(m[k])
+	}
+}
+
+func restoreAddrBoolMap(dec *checkpoint.Decoder) map[geom.Addr]bool {
+	n := dec.U64()
+	m := make(map[geom.Addr]bool, n)
+	for i := uint64(0); i < n && dec.Err() == nil; i++ {
+		k := geom.Addr(dec.U64())
 		m[k] = dec.Bool()
 	}
 	return m

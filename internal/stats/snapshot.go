@@ -58,6 +58,11 @@ func (s *SecStats) Snapshot(enc *checkpoint.Encoder) {
 	enc.U64(s.BMTNodeVerifies)
 	enc.U64(s.TamperDetected)
 	enc.U64(s.ReplayDetected)
+	enc.U64(s.TamperInjected)
+	enc.U64(s.TaintedReads)
+	for i := range s.Verdicts {
+		enc.U64(s.Verdicts[i])
+	}
 }
 
 // Restore decodes a SecStats block in place.
@@ -72,6 +77,11 @@ func (s *SecStats) Restore(dec *checkpoint.Decoder) {
 	s.BMTNodeVerifies = dec.U64()
 	s.TamperDetected = dec.U64()
 	s.ReplayDetected = dec.U64()
+	s.TamperInjected = dec.U64()
+	s.TaintedReads = dec.U64()
+	for i := range s.Verdicts {
+		s.Verdicts[i] = dec.U64()
+	}
 }
 
 // Snapshot encodes a full Stats record.

@@ -133,6 +133,88 @@ func (c *CacheStats) Add(o *CacheStats) {
 	c.DirtyEvictions += o.DirtyEvictions
 }
 
+// Verdict classifies the outcome of one read issued while the DRAM
+// image is under attack (the tamper-injection subsystem's taxonomy).
+// Detection verdicts name the mechanism that caught the attack;
+// acceptance verdicts record reads of data-tainted sectors that passed
+// verification anyway.
+type Verdict int
+
+const (
+	// VerdictDetectedByMAC is a read rejected by MAC comparison (either
+	// a mismatch, or a stale write-guarantee MAC that failed to value-
+	// verify — both surface as TamperDetected).
+	VerdictDetectedByMAC Verdict = iota
+	// VerdictDetectedByBMT is a read rejected by counter/tree freshness
+	// verification (surfaces as ReplayDetected).
+	VerdictDetectedByBMT
+	// VerdictAcceptedByValueCache is a read of a data-tainted sector that
+	// value-verified anyway: a false accept, bounded by the paper's Eq. 1
+	// forgery probability.
+	VerdictAcceptedByValueCache
+	// VerdictSilentCorruption is a read of a data-tainted sector accepted
+	// without value verification — the failure integrity-enabled schemes
+	// must never produce (the no-security baseline always does).
+	VerdictSilentCorruption
+	numVerdicts
+)
+
+var verdictNames = [numVerdicts]string{
+	"detected-by-mac", "detected-by-bmt", "accepted-by-value-cache", "silent-corruption",
+}
+
+// String returns the verdict's report name.
+func (v Verdict) String() string {
+	if v < 0 || v >= numVerdicts {
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+	return verdictNames[v]
+}
+
+// VerdictKinds lists all verdicts in declaration order.
+func VerdictKinds() []Verdict {
+	out := make([]Verdict, numVerdicts)
+	for i := range out {
+		out[i] = Verdict(i)
+	}
+	return out
+}
+
+// VerdictCounts accumulates read verdicts, indexed by Verdict.
+type VerdictCounts [numVerdicts]uint64
+
+// Record counts one verdict (out-of-range values are ignored rather
+// than panicking: the tamper path must never crash the simulation).
+func (c *VerdictCounts) Record(v Verdict) {
+	if v >= 0 && v < numVerdicts {
+		c[v]++
+	}
+}
+
+// Count returns the tally for one verdict.
+func (c *VerdictCounts) Count(v Verdict) uint64 {
+	if v < 0 || v >= numVerdicts {
+		return 0
+	}
+	return c[v]
+}
+
+// Total returns the sum over all verdicts.
+func (c *VerdictCounts) Total() uint64 {
+	var s uint64
+	for _, n := range c {
+		s += n
+	}
+	return s
+}
+
+// Add accumulates o into c.
+func (c *VerdictCounts) Add(o *VerdictCounts) {
+	for i := range c {
+		c[i] += o[i]
+	}
+}
+
 // SecStats counts security-engine events.
 type SecStats struct {
 	// ValueVerified counts read sectors authenticated purely by the value
@@ -160,6 +242,15 @@ type SecStats struct {
 	TamperDetected uint64
 	// ReplayDetected counts freshness failures caught by the tree.
 	ReplayDetected uint64
+	// TamperInjected counts fault-injector mutations applied to this
+	// partition's DRAM-resident state (ground truth for tamper runs).
+	TamperInjected uint64
+	// TaintedReads counts completed reads of data-tainted sectors —
+	// the denominator for false-accept rates.
+	TaintedReads uint64
+	// Verdicts classifies read outcomes under active attack; all zero
+	// in benign runs.
+	Verdicts VerdictCounts
 }
 
 // Add accumulates o into s.
@@ -174,6 +265,9 @@ func (s *SecStats) Add(o *SecStats) {
 	s.BMTNodeVerifies += o.BMTNodeVerifies
 	s.TamperDetected += o.TamperDetected
 	s.ReplayDetected += o.ReplayDetected
+	s.TamperInjected += o.TamperInjected
+	s.TaintedReads += o.TaintedReads
+	s.Verdicts.Add(&o.Verdicts)
 }
 
 // Stats is the full measurement record of one simulation run.

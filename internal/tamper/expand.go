@@ -1,0 +1,145 @@
+package tamper
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/plutus-gpu/plutus/internal/geom"
+	"github.com/plutus-gpu/plutus/internal/gpusim"
+	"github.com/plutus-gpu/plutus/internal/secmem"
+)
+
+// prng is a splitmix64 stream: tiny, seedable, and with well-distributed
+// 64-bit outputs — exactly what deterministic target expansion needs
+// (math/rand is banned from simulation state by simlint's determinism
+// rules, and its stream is not stable across Go releases anyway).
+type prng struct{ state uint64 }
+
+func (r *prng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Expand resolves the plan into a cycle-sorted gpusim fault schedule
+// over a protected space of protectedBytes interleaved by il.
+//
+// Every choice a range directive leaves open — target sector, flip bit,
+// flip word, splice source — is drawn from a splitmix64 stream seeded by
+// (plan seed, directive index), so expansion depends only on plan
+// contents, never on map order, time, or global state. Splice sources
+// are forced into the target's partition (the attacker swaps bytes
+// within one physical module) by translating a candidate address into
+// the target partition's local space, which stays deterministic under
+// the XOR-swizzled interleaving without rejection sampling.
+func (p *Plan) Expand(il *geom.Interleaver, protectedBytes uint64) ([]gpusim.TamperOp, error) {
+	if protectedBytes < geom.SectorSize {
+		return nil, fmt.Errorf("tamper: protected space of %d bytes is smaller than a sector", protectedBytes)
+	}
+	var ops []gpusim.TamperOp
+	for di, d := range p.Directives {
+		if d.IsRange {
+			if uint64(d.Hi) > protectedBytes {
+				return nil, fmt.Errorf("tamper: directive %d: range end %#x beyond protected %#x",
+					di, uint64(d.Hi), protectedBytes)
+			}
+			r := &prng{state: p.Seed ^ (uint64(di)+1)*0xa24baed4963ee407}
+			lo := uint64(geom.SectorAddr(d.Lo))
+			sectors := (uint64(d.Hi) - lo) / geom.SectorSize
+			if sectors == 0 {
+				return nil, fmt.Errorf("tamper: directive %d: range holds no whole sector", di)
+			}
+			for n := 0; n < d.Count; n++ {
+				addr := geom.Addr(lo + r.next()%sectors*geom.SectorSize)
+				op, err := p.buildOp(il, protectedBytes, d, addr, r)
+				if err != nil {
+					return nil, fmt.Errorf("tamper: directive %d: %w", di, err)
+				}
+				ops = append(ops, op)
+			}
+			continue
+		}
+		if uint64(d.Addr) >= protectedBytes {
+			return nil, fmt.Errorf("tamper: directive %d: addr %#x beyond protected %#x",
+				di, uint64(d.Addr), protectedBytes)
+		}
+		r := &prng{state: p.Seed ^ (uint64(di)+1)*0xa24baed4963ee407}
+		op, err := p.buildOp(il, protectedBytes, d, geom.SectorAddr(d.Addr), r)
+		if err != nil {
+			return nil, fmt.Errorf("tamper: directive %d: %w", di, err)
+		}
+		ops = append(ops, op)
+	}
+	sort.SliceStable(ops, func(a, b int) bool { return ops[a].Cycle < ops[b].Cycle })
+	return ops, nil
+}
+
+// buildOp resolves one target address into an armed op, drawing any
+// open parameters from r.
+func (p *Plan) buildOp(il *geom.Interleaver, protectedBytes uint64, d Directive, addr geom.Addr, r *prng) (gpusim.TamperOp, error) {
+	op := gpusim.TamperOp{Cycle: d.Cycle, Kind: d.Kind.String(), Global: addr}
+	switch d.Kind {
+	case BitFlip:
+		bit := d.Bit
+		if d.IsRange {
+			bit = uint(r.next() % (8 * geom.SectorSize))
+		}
+		op.Apply = func(sec *secmem.Engine, local, _ geom.Addr) { sec.TamperData(local, bit) }
+	case WordFlip:
+		word := d.Word
+		if d.IsRange {
+			word = uint(r.next() % (geom.SectorSize / 4))
+		}
+		op.Apply = func(sec *secmem.Engine, local, _ geom.Addr) { sec.TamperDataWord(local, word) }
+	case SectorFlip:
+		op.Apply = func(sec *secmem.Engine, local, _ geom.Addr) { sec.TamperSector(local) }
+	case Splice:
+		src := d.Src
+		if d.HasSrc {
+			if uint64(src) >= protectedBytes {
+				return op, fmt.Errorf("splice src %#x beyond protected %#x", uint64(src), protectedBytes)
+			}
+			src = geom.SectorAddr(src)
+			if src == addr {
+				return op, fmt.Errorf("splice of %#x onto itself is the identity", uint64(addr))
+			}
+			if il.Partition(src) != il.Partition(addr) {
+				return op, fmt.Errorf("splice src %#x and dst %#x land in different partitions (%d vs %d)",
+					uint64(src), uint64(addr), il.Partition(src), il.Partition(addr))
+			}
+		} else {
+			src = p.deriveSpliceSrc(il, protectedBytes, addr, r)
+		}
+		op.Src, op.HasSrc = src, true
+		op.Apply = func(sec *secmem.Engine, local, srcLocal geom.Addr) { sec.SpliceCiphertext(local, srcLocal) }
+	case MACCorrupt:
+		op.Apply = func(sec *secmem.Engine, local, _ geom.Addr) { sec.TamperMAC(local) }
+	case CtrRollback:
+		op.Apply = func(sec *secmem.Engine, local, _ geom.Addr) { sec.ReplayCounter(local) }
+	case BMTCorrupt:
+		op.Apply = func(sec *secmem.Engine, local, _ geom.Addr) { sec.CorruptBMTNode(local) }
+	default:
+		return op, fmt.Errorf("unhandled attack kind %v", d.Kind)
+	}
+	return op, nil
+}
+
+// deriveSpliceSrc picks a deterministic same-partition splice source for
+// dst: draw any candidate sector, take its partition-local offset, and
+// re-anchor that offset in dst's partition. The local space of every
+// partition spans [0, protectedBytes/partitions), so the re-anchored
+// address is always a valid, distinct protected sector.
+func (p *Plan) deriveSpliceSrc(il *geom.Interleaver, protectedBytes uint64, dst geom.Addr, r *prng) geom.Addr {
+	part := il.Partition(dst)
+	partBytes := protectedBytes / uint64(il.Partitions())
+	candidate := geom.Addr(r.next() % protectedBytes)
+	local := geom.SectorAddr(il.LocalAddr(candidate)) % geom.Addr(partBytes)
+	src := il.GlobalAddr(part, local)
+	if src == dst {
+		local = (local + geom.SectorSize) % geom.Addr(partBytes)
+		src = il.GlobalAddr(part, local)
+	}
+	return src
+}

@@ -1,0 +1,62 @@
+package tamper
+
+import (
+	"testing"
+
+	"github.com/plutus-gpu/plutus/internal/geom"
+)
+
+// FuzzParsePlan drives the plan parser with arbitrary text and enforces
+// the package invariants on whatever it accepts: the canonical form must
+// round-trip to itself, fingerprints must be stable, and expansion must
+// either fail cleanly or produce a cycle-sorted, in-bounds, partition-
+// respecting schedule. The parser must never panic on any input.
+func FuzzParsePlan(f *testing.F) {
+	f.Add("seed 42\nat cycle=100 attack=bitflip addr=0x1000 bit=17\n")
+	f.Add("at cycle=1 attack=splice addr=0x4000 src=0x4020\n")
+	f.Add("at cycle=9 attack=sectorflip range=0x0:0x10000 count=7\n")
+	f.Add("# comment only\n\n")
+	f.Add("seed 0xffffffffffffffff\nat cycle=0 attack=ctr-rollback addr=0\n")
+	f.Add("at cycle=1 attack=wordflip addr=0x20 word=7\nat cycle=1 attack=mac-corrupt addr=0x40\n")
+	f.Add("at cycle=2 attack=bmt-corrupt range=0x100:0x2000 count=3\n")
+	f.Add("seed 3\nat cycle=5 attack=splice range=0x0:0x8000 count=4\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		p, err := Parse(text)
+		if err != nil {
+			return // rejected input: fine, as long as it didn't panic
+		}
+		canonical := p.String()
+		p2, err := Parse(canonical)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\ninput: %q\ncanonical: %q", err, text, canonical)
+		}
+		if got := p2.String(); got != canonical {
+			t.Fatalf("canonical form not a fixed point:\nfirst:  %q\nsecond: %q", canonical, got)
+		}
+		if p.Fingerprint() != p2.Fingerprint() {
+			t.Fatalf("fingerprint unstable across round trip for %q", canonical)
+		}
+		il := geom.MustInterleaver(4)
+		const protected = 1 << 20
+		ops, err := p.Expand(il, protected)
+		if err != nil {
+			return // out-of-range targets etc.: a clean error is correct
+		}
+		for i, op := range ops {
+			if i > 0 && op.Cycle < ops[i-1].Cycle {
+				t.Fatalf("ops not cycle-sorted at %d", i)
+			}
+			if uint64(op.Global) >= protected || uint64(op.Global)%geom.SectorSize != 0 {
+				t.Fatalf("op %d target %#x invalid", i, uint64(op.Global))
+			}
+			if op.HasSrc {
+				if uint64(op.Src) >= protected || il.Partition(op.Src) != il.Partition(op.Global) {
+					t.Fatalf("op %d splice src %#x invalid for dst %#x", i, uint64(op.Src), uint64(op.Global))
+				}
+				if op.Src == op.Global {
+					t.Fatalf("op %d splices %#x onto itself", i, uint64(op.Global))
+				}
+			}
+		}
+	})
+}

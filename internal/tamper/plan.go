@@ -1,0 +1,298 @@
+// Package tamper is the adversarial fault injector: it turns a textual
+// injection plan into a deterministic schedule of DRAM mutations
+// (gpusim.TamperOp) that attack a run's ciphertext, MACs, counters, or
+// integrity-tree nodes mid-simulation.
+//
+// A plan is replayable by construction. The text fixes the seed, the
+// cycles, the attack kinds, and the targets; range directives expand
+// through a splitmix64 stream seeded only by plan contents; and the ops
+// apply at deterministic epoch boundaries of the sharded simulator. Same
+// plan, same workload, same configuration → byte-identical run,
+// including across checkpoint/resume.
+//
+// Plan grammar (one directive per line, '#' starts a comment):
+//
+//	seed <n>
+//	at cycle=<n> attack=<kind> addr=<addr> [src=<addr>] [bit=<n>] [word=<n>]
+//	at cycle=<n> attack=<kind> range=<lo>:<hi> count=<n> [bit=<n>] [word=<n>]
+//
+// Addresses are decimal or 0x-hex byte addresses in the protected global
+// space and are sector-aligned on expansion. Attack kinds: bitflip,
+// wordflip, sectorflip, splice, mac-corrupt, ctr-rollback, bmt-corrupt.
+// src is only valid for splice (omitted, a same-partition source is
+// derived from the seed); bit only for bitflip; word only for wordflip.
+// A range directive draws count targets (and per-target bit/word/src
+// parameters, overriding none/any given) from the seeded stream within
+// [lo, hi).
+package tamper
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/plutus-gpu/plutus/internal/geom"
+)
+
+// Kind is one attack class.
+type Kind int
+
+const (
+	// BitFlip flips a single ciphertext bit of one data sector.
+	BitFlip Kind = iota
+	// WordFlip inverts one aligned 32-bit ciphertext word.
+	WordFlip
+	// SectorFlip inverts a whole 32 B ciphertext sector.
+	SectorFlip
+	// Splice copies one address's ciphertext onto another (relocation /
+	// replay of valid ciphertext at the wrong address).
+	Splice
+	// MACCorrupt corrupts a sector's stored MAC, leaving data authentic.
+	MACCorrupt
+	// CtrRollback replays the boot-image copy of a counter unit.
+	CtrRollback
+	// BMTCorrupt corrupts a DRAM-resident integrity-tree node.
+	BMTCorrupt
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"bitflip", "wordflip", "sectorflip", "splice", "mac-corrupt", "ctr-rollback", "bmt-corrupt",
+}
+
+// String returns the plan-text name of the kind.
+func (k Kind) String() string {
+	if k < 0 || k >= numKinds {
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Kinds lists every attack kind in declaration order.
+func Kinds() []Kind {
+	out := make([]Kind, numKinds)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// KindByName resolves a plan-text kind name; the error lists the valid set.
+func KindByName(s string) (Kind, error) {
+	for i, n := range kindNames {
+		if n == s {
+			return Kind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown attack %q (valid: %s)", s, strings.Join(kindNames[:], ", "))
+}
+
+// Directive is one parsed plan line: a point attack on Addr, or a range
+// attack drawing Count targets from [Lo, Hi).
+type Directive struct {
+	Cycle uint64
+	Kind  Kind
+
+	// Point form.
+	Addr   geom.Addr
+	Src    geom.Addr // splice source; derived from the seed unless HasSrc
+	HasSrc bool
+	Bit    uint // bitflip target bit within the sector (0..255)
+	Word   uint // wordflip target word within the sector (0..7)
+
+	// Range form.
+	IsRange bool
+	Lo, Hi  geom.Addr // [Lo, Hi)
+	Count   int
+}
+
+// Plan is a parsed injection plan.
+type Plan struct {
+	Seed       uint64
+	Directives []Directive
+}
+
+// Parse reads a plan from its textual form. The result round-trips:
+// Parse(p.String()) reproduces p exactly.
+func Parse(text string) (*Plan, error) {
+	p := &Plan{Seed: 1}
+	seenSeed := false
+	for ln, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		lineErr := func(format string, args ...any) error {
+			return fmt.Errorf("tamper: line %d: %s", ln+1, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "seed":
+			if seenSeed {
+				return nil, lineErr("duplicate seed")
+			}
+			if len(p.Directives) > 0 {
+				return nil, lineErr("seed must precede directives")
+			}
+			if len(fields) != 2 {
+				return nil, lineErr("want: seed <n>")
+			}
+			v, err := strconv.ParseUint(fields[1], 0, 64)
+			if err != nil {
+				return nil, lineErr("bad seed %q", fields[1])
+			}
+			p.Seed, seenSeed = v, true
+		case "at":
+			d, err := parseDirective(fields[1:])
+			if err != nil {
+				return nil, lineErr("%v", err)
+			}
+			p.Directives = append(p.Directives, d)
+		default:
+			return nil, lineErr("unknown statement %q (want seed or at)", fields[0])
+		}
+	}
+	return p, nil
+}
+
+// parseDirective parses the key=value fields of one `at` line.
+func parseDirective(fields []string) (Directive, error) {
+	var d Directive
+	var haveCycle, haveKind, haveAddr, haveRange, haveCount, haveBit, haveWord bool
+	for _, f := range fields {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return d, fmt.Errorf("malformed field %q (want key=value)", f)
+		}
+		switch key {
+		case "cycle":
+			v, err := strconv.ParseUint(val, 0, 64)
+			if err != nil {
+				return d, fmt.Errorf("bad cycle %q", val)
+			}
+			d.Cycle, haveCycle = v, true
+		case "attack":
+			k, err := KindByName(val)
+			if err != nil {
+				return d, err
+			}
+			d.Kind, haveKind = k, true
+		case "addr":
+			a, err := parseAddr(val)
+			if err != nil {
+				return d, err
+			}
+			d.Addr, haveAddr = a, true
+		case "src":
+			a, err := parseAddr(val)
+			if err != nil {
+				return d, err
+			}
+			d.Src, d.HasSrc = a, true
+		case "range":
+			lo, hi, ok := strings.Cut(val, ":")
+			if !ok {
+				return d, fmt.Errorf("bad range %q (want lo:hi)", val)
+			}
+			a, err := parseAddr(lo)
+			if err != nil {
+				return d, err
+			}
+			b, err := parseAddr(hi)
+			if err != nil {
+				return d, err
+			}
+			d.Lo, d.Hi, d.IsRange, haveRange = a, b, true, true
+		case "count":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return d, fmt.Errorf("bad count %q (want positive integer)", val)
+			}
+			d.Count, haveCount = n, true
+		case "bit":
+			v, err := strconv.ParseUint(val, 0, 32)
+			if err != nil || v >= 8*geom.SectorSize {
+				return d, fmt.Errorf("bad bit %q (want 0..%d)", val, 8*geom.SectorSize-1)
+			}
+			d.Bit, haveBit = uint(v), true
+		case "word":
+			v, err := strconv.ParseUint(val, 0, 32)
+			if err != nil || v >= geom.SectorSize/4 {
+				return d, fmt.Errorf("bad word %q (want 0..%d)", val, geom.SectorSize/4-1)
+			}
+			d.Word, haveWord = uint(v), true
+		default:
+			return d, fmt.Errorf("unknown field %q", key)
+		}
+	}
+	switch {
+	case !haveCycle:
+		return d, fmt.Errorf("missing cycle=")
+	case !haveKind:
+		return d, fmt.Errorf("missing attack=")
+	case haveAddr == haveRange:
+		return d, fmt.Errorf("want exactly one of addr= or range=")
+	case haveRange && !haveCount:
+		return d, fmt.Errorf("range= requires count=")
+	case haveCount && !haveRange:
+		return d, fmt.Errorf("count= requires range=")
+	case haveRange && d.Lo >= d.Hi:
+		return d, fmt.Errorf("empty range %#x:%#x", uint64(d.Lo), uint64(d.Hi))
+	case d.HasSrc && d.Kind != Splice:
+		return d, fmt.Errorf("src= is only valid for attack=splice")
+	case d.HasSrc && haveRange:
+		return d, fmt.Errorf("src= is only valid in point form")
+	case haveBit && d.Kind != BitFlip:
+		return d, fmt.Errorf("bit= is only valid for attack=bitflip")
+	case haveWord && d.Kind != WordFlip:
+		return d, fmt.Errorf("word= is only valid for attack=wordflip")
+	}
+	return d, nil
+}
+
+func parseAddr(s string) (geom.Addr, error) {
+	v, err := strconv.ParseUint(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad address %q", s)
+	}
+	return geom.Addr(v), nil
+}
+
+// String renders the plan in canonical text form (the round-trip anchor:
+// parsing it reproduces the plan, and Fingerprint hashes it).
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed %d\n", p.Seed)
+	for _, d := range p.Directives {
+		fmt.Fprintf(&b, "at cycle=%d attack=%s", d.Cycle, d.Kind)
+		if d.IsRange {
+			fmt.Fprintf(&b, " range=%#x:%#x count=%d", uint64(d.Lo), uint64(d.Hi), d.Count)
+		} else {
+			fmt.Fprintf(&b, " addr=%#x", uint64(d.Addr))
+			if d.HasSrc {
+				fmt.Fprintf(&b, " src=%#x", uint64(d.Src))
+			}
+		}
+		switch d.Kind {
+		case BitFlip:
+			fmt.Fprintf(&b, " bit=%d", d.Bit)
+		case WordFlip:
+			fmt.Fprintf(&b, " word=%d", d.Word)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Fingerprint returns a short stable digest of the plan's canonical
+// form, used to key result caches: two runs share a cache entry only if
+// their attack schedules are identical.
+func (p *Plan) Fingerprint() string {
+	sum := sha256.Sum256([]byte(p.String()))
+	return hex.EncodeToString(sum[:8])
+}

@@ -1,0 +1,222 @@
+package tamper
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/plutus-gpu/plutus/internal/geom"
+)
+
+const samplePlan = `
+# exercise every attack kind, both directive forms
+seed 42
+at cycle=100 attack=bitflip addr=0x1000 bit=17
+at cycle=200 attack=wordflip addr=0x2020 word=5
+at cycle=300 attack=sectorflip addr=0x3040
+at cycle=400 attack=splice addr=0x4000 src=0x4020
+at cycle=500 attack=splice addr=0x5000
+at cycle=600 attack=mac-corrupt addr=0x6000
+at cycle=700 attack=ctr-rollback addr=0x7000
+at cycle=800 attack=bmt-corrupt addr=0x8000
+at cycle=900 attack=sectorflip range=0x0:0x10000 count=7
+at cycle=950 attack=bitflip range=0x10000:0x20000 count=3
+`
+
+func TestParseRoundTrip(t *testing.T) {
+	p, err := Parse(samplePlan)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if p.Seed != 42 {
+		t.Fatalf("seed = %d, want 42", p.Seed)
+	}
+	if len(p.Directives) != 10 {
+		t.Fatalf("parsed %d directives, want 10", len(p.Directives))
+	}
+	canonical := p.String()
+	p2, err := Parse(canonical)
+	if err != nil {
+		t.Fatalf("Parse(String()): %v", err)
+	}
+	if p2.String() != canonical {
+		t.Fatalf("round trip diverged:\nfirst:\n%s\nsecond:\n%s", canonical, p2.String())
+	}
+	if p.Fingerprint() != p2.Fingerprint() {
+		t.Fatalf("fingerprint changed across round trip")
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	p, err := Parse("at cycle=1 attack=sectorflip addr=0x20\n")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if p.Seed != 1 {
+		t.Fatalf("default seed = %d, want 1", p.Seed)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, text, want string
+	}{
+		{"unknown-stmt", "flip cycle=1\n", "unknown statement"},
+		{"unknown-attack", "at cycle=1 attack=rowhammer addr=0x0\n", "unknown attack"},
+		{"attack-lists-valid", "at cycle=1 attack=nope addr=0x0\n", "bitflip, wordflip, sectorflip, splice, mac-corrupt, ctr-rollback, bmt-corrupt"},
+		{"missing-cycle", "at attack=bitflip addr=0x0\n", "missing cycle="},
+		{"missing-attack", "at cycle=1 addr=0x0\n", "missing attack="},
+		{"no-target", "at cycle=1 attack=bitflip\n", "exactly one of addr= or range="},
+		{"both-targets", "at cycle=1 attack=bitflip addr=0x0 range=0x0:0x100 count=1\n", "exactly one of addr= or range="},
+		{"range-no-count", "at cycle=1 attack=bitflip range=0x0:0x100\n", "requires count="},
+		{"count-no-range", "at cycle=1 attack=bitflip addr=0x0 count=2\n", "count= requires range="},
+		{"empty-range", "at cycle=1 attack=bitflip range=0x100:0x100 count=1\n", "empty range"},
+		{"src-non-splice", "at cycle=1 attack=bitflip addr=0x0 src=0x20\n", "only valid for attack=splice"},
+		{"src-range", "at cycle=1 attack=splice range=0x0:0x100 count=1 src=0x20\n", "only valid in point form"},
+		{"bit-non-bitflip", "at cycle=1 attack=wordflip addr=0x0 bit=3\n", "only valid for attack=bitflip"},
+		{"word-non-wordflip", "at cycle=1 attack=bitflip addr=0x0 word=3\n", "only valid for attack=wordflip"},
+		{"bit-range", "at cycle=1 attack=bitflip addr=0x0 bit=256\n", "bad bit"},
+		{"word-range", "at cycle=1 attack=wordflip addr=0x0 word=8\n", "bad word"},
+		{"bad-field", "at cycle=1 attack=bitflip addr\n", "malformed field"},
+		{"unknown-field", "at cycle=1 attack=bitflip addr=0x0 volts=9\n", "unknown field"},
+		{"dup-seed", "seed 1\nseed 2\n", "duplicate seed"},
+		{"late-seed", "at cycle=1 attack=sectorflip addr=0x0\nseed 2\n", "seed must precede"},
+		{"bad-count", "at cycle=1 attack=bitflip range=0x0:0x100 count=0\n", "bad count"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.text)
+			if err == nil {
+				t.Fatalf("Parse accepted %q", tc.text)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestFingerprintDistinguishesPlans(t *testing.T) {
+	a, err := Parse("seed 1\nat cycle=1 attack=bitflip addr=0x0 bit=0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse("seed 2\nat cycle=1 attack=bitflip addr=0x0 bit=0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatalf("plans differing only in seed share fingerprint %s", a.Fingerprint())
+	}
+	if len(a.Fingerprint()) != 16 {
+		t.Fatalf("fingerprint %q is not 16 hex chars", a.Fingerprint())
+	}
+}
+
+func TestKindNamesRoundTrip(t *testing.T) {
+	for _, k := range Kinds() {
+		got, err := KindByName(k.String())
+		if err != nil {
+			t.Fatalf("KindByName(%s): %v", k, err)
+		}
+		if got != k {
+			t.Fatalf("KindByName(%s) = %v", k, got)
+		}
+	}
+}
+
+func TestExpandDeterministic(t *testing.T) {
+	p, err := Parse(samplePlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	il := geom.MustInterleaver(8)
+	const protected = 1 << 20
+	a, err := p.Expand(il, protected)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	b, err := p.Expand(il, protected)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("expansions differ in length: %d vs %d", len(a), len(b))
+	}
+	if len(a) != 18 { // 8 point ops + 7 + 3 range ops
+		t.Fatalf("expanded %d ops, want 18", len(a))
+	}
+	for i := range a {
+		if a[i].Cycle != b[i].Cycle || a[i].Kind != b[i].Kind || a[i].Global != b[i].Global ||
+			a[i].Src != b[i].Src || a[i].HasSrc != b[i].HasSrc {
+			t.Fatalf("op %d differs across expansions: %+v vs %+v", i, a[i], b[i])
+		}
+		if i > 0 && a[i].Cycle < a[i-1].Cycle {
+			t.Fatalf("ops not cycle-sorted at %d: %d after %d", i, a[i].Cycle, a[i-1].Cycle)
+		}
+		if uint64(a[i].Global) >= protected {
+			t.Fatalf("op %d target %#x beyond protected space", i, uint64(a[i].Global))
+		}
+	}
+}
+
+func TestExpandSpliceStaysInPartition(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("seed 7\n")
+	for c := 0; c < 64; c++ {
+		// Point splices with derived sources, spread over the space.
+		fmt.Fprintf(&b, "at cycle=%d attack=splice addr=%#x\n", c+1, c*8192)
+	}
+	p, err := Parse(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	il := geom.MustInterleaver(8)
+	const protected = 1 << 20
+	ops, err := p.Expand(il, protected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, op := range ops {
+		if !op.HasSrc {
+			t.Fatalf("op %d: splice without source", i)
+		}
+		if op.Src == op.Global {
+			t.Fatalf("op %d: splice onto itself at %#x", i, uint64(op.Global))
+		}
+		if il.Partition(op.Src) != il.Partition(op.Global) {
+			t.Fatalf("op %d: src %#x (part %d) crosses into dst %#x (part %d)",
+				i, uint64(op.Src), il.Partition(op.Src), uint64(op.Global), il.Partition(op.Global))
+		}
+		if uint64(op.Src) >= protected {
+			t.Fatalf("op %d: src %#x beyond protected space", i, uint64(op.Src))
+		}
+	}
+}
+
+func TestExpandErrors(t *testing.T) {
+	il := geom.MustInterleaver(4)
+	cases := []struct {
+		name, text, want string
+	}{
+		{"addr-oob", "at cycle=1 attack=bitflip addr=0x100000 bit=0\n", "beyond protected"},
+		{"range-oob", "at cycle=1 attack=bitflip range=0x0:0x200000 count=1\n", "beyond protected"},
+		{"splice-src-oob", "at cycle=1 attack=splice addr=0x0 src=0x100000\n", "beyond protected"},
+		{"splice-cross-part", "at cycle=1 attack=splice addr=0x0 src=0x100\n", "different partitions"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := Parse(tc.text)
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			_, err = p.Expand(il, 1<<20)
+			if err == nil {
+				t.Fatalf("Expand accepted %q", tc.text)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

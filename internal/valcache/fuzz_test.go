@@ -1,0 +1,98 @@
+package valcache
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzCacheOps feeds the value cache an adversarial stream of inserts,
+// probes, and sector observe/verify calls decoded from raw fuzz bytes,
+// and checks the structural invariants the security argument rests on:
+// capacity is never exceeded, the pinned reservation is honored, a
+// verified sector really did hit MatchThreshold values, and every probe
+// agrees with Contains. The paper's Eq. 1 bound assumes exactly this
+// mechanical behavior under arbitrary (attacker-chosen) value streams.
+func FuzzCacheOps(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x01, 0xde, 0xad, 0xbe, 0xef})
+	f.Add(append([]byte{0x02}, make([]byte, 32)...))
+	seed := []byte{0x03}
+	for i := byte(0); i < 32; i++ {
+		seed = append(seed, i, i, i, i)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := MustNew(DefaultConfig())
+		cfg := c.Config()
+		// Decode an op stream: 1 op byte + operand bytes, repeating.
+		for len(data) > 0 {
+			op := data[0]
+			data = data[1:]
+			switch op % 4 {
+			case 0, 1: // insert / probe one 32-bit value
+				if len(data) < 4 {
+					return
+				}
+				v := binary.LittleEndian.Uint32(data)
+				data = data[4:]
+				if op%4 == 0 {
+					c.Insert(v)
+					if !c.Contains(v) {
+						t.Fatalf("value %#x missing immediately after insert", v)
+					}
+				} else {
+					hit, pinned := c.Probe(v)
+					if hit != c.Contains(v) {
+						t.Fatalf("Probe(%#x) hit=%v disagrees with Contains", v, hit)
+					}
+					if pinned && !hit {
+						t.Fatalf("Probe(%#x) pinned without hit", v)
+					}
+				}
+			case 2: // observe a sector
+				if len(data) < 32 {
+					return
+				}
+				c.ObserveSector(data[:32])
+				data = data[32:]
+			case 3: // verify a sector
+				if len(data) < 32 {
+					return
+				}
+				sector := data[:32]
+				data = data[32:]
+				guaranteed := c.WriteGuaranteed(sector)
+				res := c.VerifySector(sector)
+				if guaranteed && !res.Verified {
+					t.Fatalf("write-guaranteed sector failed verification")
+				}
+				if res.Hits < 0 || res.Hits > 2*ValuesPerUnit {
+					t.Fatalf("VerifySector hits = %d out of range", res.Hits)
+				}
+				if res.Verified {
+					// Recount independently: every cipher block of the
+					// sector must clear the match threshold.
+					for off := 0; off+UnitBytes <= len(sector); off += UnitBytes {
+						hits := 0
+						for _, v := range Values(sector[off : off+UnitBytes]) {
+							if c.Contains(v) {
+								hits++
+							}
+						}
+						if hits < cfg.MatchThreshold {
+							t.Fatalf("sector verified but block at %d has only %d hits (threshold %d)",
+								off, hits, cfg.MatchThreshold)
+						}
+					}
+				}
+			}
+			// Structural invariants hold after every operation.
+			if c.Len() > cfg.Entries {
+				t.Fatalf("cache holds %d entries, capacity %d", c.Len(), cfg.Entries)
+			}
+			if c.PinnedLen() > int(float64(cfg.Entries)*cfg.PinnedFrac) {
+				t.Fatalf("pinned %d exceeds reservation", c.PinnedLen())
+			}
+		}
+	})
+}

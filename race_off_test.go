@@ -2,5 +2,16 @@
 
 package plutus_test
 
+import "testing"
+
 // raceEnabled reports whether the race detector is compiled in.
 const raceEnabled = false
+
+// TestRaceTagOff is the !race counterpart of TestRaceTagOn: CI runs it
+// without -race and fails if zero tests execute, proving this tag set
+// is the one selected in ordinary builds.
+func TestRaceTagOff(t *testing.T) {
+	if raceEnabled {
+		t.Fatal("compiled without the race tag but raceEnabled is true")
+	}
+}

@@ -2,7 +2,20 @@
 
 package plutus_test
 
+import "testing"
+
 // raceEnabled reports whether the race detector is compiled in; the
 // wall-clock speedup test skips under it (instrumentation distorts the
 // sequential/parallel timing ratio).
 const raceEnabled = true
+
+// TestRaceTagOn exists so the race-tagged file set provably compiles
+// into -race builds: CI runs `go test -race -run TestRaceTagOn` and
+// fails if zero tests execute, which is exactly what would happen if
+// this file's build tag rotted (and raceEnabled silently stayed false
+// everywhere).
+func TestRaceTagOn(t *testing.T) {
+	if !raceEnabled {
+		t.Fatal("compiled under the race tag but raceEnabled is false")
+	}
+}
