@@ -11,14 +11,25 @@
 // encoded size and the save/restore latencies are recorded so the cost
 // of the checkpoint subsystem is tracked run over run.
 //
+// The summary additionally reports two committed-trajectory metrics:
+// sim_cycles_per_sec (simulated cycles retired per wall-clock second of
+// the sequential sweep) and event_loop_allocs_per_op (heap allocations
+// per schedule+dispatch pair of the event engine in steady state,
+// measured testing.AllocsPerRun-style). With -baseline the current run
+// is gated against a committed BENCH_*.json: the throughput may not
+// regress by more than -maxregress and the event loop may not allocate
+// more than the baseline does.
+//
 // Exit status is nonzero if any run diverges between modes, if the
-// resumed run diverges from its reference, or — when -minspeedup is
-// set — if the parallel sweep fails to beat sequential by that factor.
+// resumed run diverges from its reference, if a -baseline gate fails,
+// or — when -minspeedup is set — if the parallel sweep fails to beat
+// sequential by that factor.
 //
 // Usage:
 //
 //	benchsmoke -insts 1500 -out BENCH_ci.json
 //	benchsmoke -benchmarks bfs,sgemm -schemes pssm,plutus -minspeedup 1.15
+//	benchsmoke -baseline BENCH_0006.json -maxregress 0.10
 package main
 
 import (
@@ -29,13 +40,16 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"testing"
 	"time"
 
 	"github.com/plutus-gpu/plutus/internal/checkpoint"
 	"github.com/plutus-gpu/plutus/internal/geom"
 	"github.com/plutus-gpu/plutus/internal/gpusim"
 	"github.com/plutus-gpu/plutus/internal/harness"
+	"github.com/plutus-gpu/plutus/internal/prof"
 	"github.com/plutus-gpu/plutus/internal/secmem"
+	"github.com/plutus-gpu/plutus/internal/sim"
 	"github.com/plutus-gpu/plutus/internal/stats"
 	"github.com/plutus-gpu/plutus/internal/tamper"
 	"github.com/plutus-gpu/plutus/internal/workload"
@@ -87,15 +101,87 @@ type tamperReport struct {
 
 // report is the BENCH_ci.json schema.
 type report struct {
-	GOMAXPROCS      int               `json:"gomaxprocs"`
-	MaxInstructions uint64            `json:"max_instructions"`
-	Runs            []run             `json:"runs"`
-	SequentialNs    int64             `json:"total_sequential_ns"`
-	ParallelNs      int64             `json:"total_parallel_ns"`
-	Speedup         float64           `json:"speedup"`
-	AllMatch        bool              `json:"all_match"`
-	Checkpoint      *checkpointReport `json:"checkpoint,omitempty"`
-	Tamper          *tamperReport     `json:"tamper,omitempty"`
+	// Note is free-text provenance for committed baselines: what the
+	// file pins and the trajectory it belongs to (-note flag).
+	Note            string  `json:"note,omitempty"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	MaxInstructions uint64  `json:"max_instructions"`
+	Runs            []run   `json:"runs"`
+	SequentialNs    int64   `json:"total_sequential_ns"`
+	ParallelNs      int64   `json:"total_parallel_ns"`
+	Speedup         float64 `json:"speedup"`
+	AllMatch        bool    `json:"all_match"`
+	// SimCyclesPerSec is the sweep's simulation throughput: simulated
+	// cycles retired per wall-clock second across the sequential runs.
+	// This is the committed-trajectory headline number the -baseline
+	// gate protects.
+	SimCyclesPerSec float64 `json:"sim_cycles_per_sec"`
+	// EventLoopAllocsPerOp is the event engine's steady-state heap
+	// allocation count per schedule+dispatch pair. The calendar-queue
+	// scheduler is pooled end to end, so the committed value is 0 and
+	// any positive reading is a regression.
+	EventLoopAllocsPerOp float64           `json:"event_loop_allocs_per_op"`
+	Checkpoint           *checkpointReport `json:"checkpoint,omitempty"`
+	Tamper               *tamperReport     `json:"tamper,omitempty"`
+}
+
+// measureEventLoopAllocs measures steady-state allocations per
+// schedule+dispatch pair on the event engine, the way
+// testing.AllocsPerRun does: warm the engine until its ring buckets and
+// overflow heap have grown to working size, then average over repeated
+// batches. The delta mix crosses the scheduler's near/far boundary so
+// both the ring and the overflow heap stay on the measured path.
+func measureEventLoopAllocs() float64 {
+	const ops = 8192
+	eng := &sim.Engine{}
+	rng := uint64(1)
+	// Deterministic warm-up: one event in every calendar-ring bucket
+	// plus a far-horizon event, drained before counting, so every pooled
+	// slice has reached its steady-state capacity.
+	for s := sim.Cycle(0); s < 4096; s++ {
+		eng.Schedule(s, noop)
+	}
+	eng.Schedule(4096+1000, noop)
+	for eng.Step() {
+	}
+	batch := func() {
+		for i := 0; i < ops; i++ {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			eng.Schedule(sim.Cycle(rng%6000), noop)
+			eng.Step()
+		}
+	}
+	return testing.AllocsPerRun(10, batch) / ops
+}
+
+// noop is the measured event body; a top-level func so scheduling it
+// allocates no closure.
+func noop() {}
+
+// checkBaseline gates the current report against a committed baseline:
+// simulation throughput may regress at most maxRegress (fractional),
+// and the event loop may not allocate more than the baseline records.
+func checkBaseline(path string, cur *report, maxRegress float64) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base report
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if base.SimCyclesPerSec > 0 {
+		floor := base.SimCyclesPerSec * (1 - maxRegress)
+		if cur.SimCyclesPerSec < floor {
+			return fmt.Errorf("sim throughput regressed: %.0f cycles/s vs baseline %.0f (floor %.0f at %.0f%% tolerance)",
+				cur.SimCyclesPerSec, base.SimCyclesPerSec, floor, maxRegress*100)
+		}
+	}
+	if cur.EventLoopAllocsPerOp > base.EventLoopAllocsPerOp {
+		return fmt.Errorf("event loop allocates: %.2f allocs/op vs baseline %.2f",
+			cur.EventLoopAllocsPerOp, base.EventLoopAllocsPerOp)
+	}
+	return nil
 }
 
 // measureCheckpoint runs bench/sc three times at the gpusim layer:
@@ -267,8 +353,24 @@ func main() {
 		benches  = flag.String("benchmarks", "bfs,hotspot,sgemm,pagerank", "comma-separated benchmarks")
 		schemes  = flag.String("schemes", "nosec,pssm,plutus", "comma-separated schemes")
 		minSpeed = flag.Float64("minspeedup", 0, "fail unless parallel beats sequential by this factor (0 = report only)")
+		baseline = flag.String("baseline", "", "committed BENCH_*.json to gate against (empty = no gate)")
+		note     = flag.String("note", "", "provenance note embedded in the summary (for committed baselines)")
+		maxRegr  = flag.Float64("maxregress", 0.10, "with -baseline: max fractional sim-throughput regression before failing")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof allocation profile of the sweep to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsmoke:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsmoke:", err)
+		}
+	}()
 
 	var scs []secmem.Config
 	for _, name := range strings.Split(*schemes, ",") {
@@ -294,7 +396,7 @@ func main() {
 	}
 	seqR, parR := mkRunner(false), mkRunner(true)
 
-	rep := report{GOMAXPROCS: runtime.GOMAXPROCS(0), MaxInstructions: *insts, AllMatch: true}
+	rep := report{Note: *note, GOMAXPROCS: runtime.GOMAXPROCS(0), MaxInstructions: *insts, AllMatch: true}
 	sweep := func(r *harness.Runner, bench string, sc secmem.Config) (*stats.Stats, int64) {
 		start := time.Now()
 		st, err := r.Run(bench, sc)
@@ -325,6 +427,14 @@ func main() {
 	if rep.ParallelNs > 0 {
 		rep.Speedup = float64(rep.SequentialNs) / float64(rep.ParallelNs)
 	}
+	var simCycles uint64
+	for _, r := range rep.Runs {
+		simCycles += r.Stats.Cycles
+	}
+	if rep.SequentialNs > 0 {
+		rep.SimCyclesPerSec = float64(simCycles) / (float64(rep.SequentialNs) / 1e9)
+	}
+	rep.EventLoopAllocsPerOp = measureEventLoopAllocs()
 
 	// Checkpoint micro-benchmark on one representative run (the first
 	// benchmark under the last scheme — plutus in the default matrix).
@@ -363,6 +473,8 @@ func main() {
 	fmt.Printf("benchsmoke: %d runs, seq %.2fs, par %.2fs, speedup %.2fx, match=%v -> %s\n",
 		len(rep.Runs), float64(rep.SequentialNs)/1e9, float64(rep.ParallelNs)/1e9,
 		rep.Speedup, rep.AllMatch, *out)
+	fmt.Printf("benchsmoke: perf: %.0f sim cycles/s sequential, %.2f event-loop allocs/op\n",
+		rep.SimCyclesPerSec, rep.EventLoopAllocsPerOp)
 	fmt.Printf("benchsmoke: checkpoint %s/%s: %d snapshots of %d B every %d cycles, save %s, restore %s, resume match=%v\n",
 		ck.Benchmark, ck.Scheme, ck.Snapshots, ck.SnapshotBytes, ck.EveryCycles,
 		time.Duration(ck.SaveNs), time.Duration(ck.RestoreNs), ck.ResumeMatch)
@@ -376,5 +488,12 @@ func main() {
 	if *minSpeed > 0 && rep.Speedup < *minSpeed {
 		fmt.Fprintf(os.Stderr, "benchsmoke: speedup %.2fx below required %.2fx\n", rep.Speedup, *minSpeed)
 		os.Exit(1)
+	}
+	if *baseline != "" {
+		if err := checkBaseline(*baseline, &rep, *maxRegr); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsmoke: baseline gate (%s): %v\n", *baseline, err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchsmoke: baseline gate passed against %s\n", *baseline)
 	}
 }

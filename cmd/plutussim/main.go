@@ -39,6 +39,7 @@ import (
 	"strings"
 
 	"github.com/plutus-gpu/plutus/internal/harness"
+	"github.com/plutus-gpu/plutus/internal/prof"
 	"github.com/plutus-gpu/plutus/internal/secmem"
 	"github.com/plutus-gpu/plutus/internal/server"
 	"github.com/plutus-gpu/plutus/internal/server/client"
@@ -60,8 +61,21 @@ func main() {
 		ckptN    = flag.Uint64("checkpoint-every", 0, "snapshot the run every N cycles (0 = off; cadence affects timing, so compare runs at equal cadence)")
 		resume   = flag.Bool("resume", false, "resume from the snapshot in -checkpoint-dir if one exists")
 		tplan    = flag.String("tamper-plan", "", "tamper-injection plan file: mutate DRAM state mid-run and report detection verdicts (see internal/tamper)")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof allocation profile of the run to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plutussim:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "plutussim:", err)
+		}
+	}()
 
 	if *list {
 		fmt.Println("benchmarks:", strings.Join(workload.Names(), " "))

@@ -1,6 +1,10 @@
 package counters
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/plutus-gpu/plutus/internal/dense"
+)
 
 // CompactKind selects which compact mirrored-counter design is active
 // (paper §IV-D studies three).
@@ -109,13 +113,18 @@ type CompactView struct {
 	store     *SplitStore
 	threshold int
 
-	// disabled is the enable-bit layer: true means the compact block is
-	// permanently bypassed. Keyed by compact-block index (128 B of
+	// disabled is the enable-bit layer: a set bit means the compact block
+	// is permanently bypassed. Indexed by compact-block index (128 B of
 	// compact counters).
-	disabled map[uint64]bool
-	// saturated tracks, per compact block, which covered sectors have
-	// saturated compact counters (for the adaptive threshold).
-	saturated map[uint64]map[uint64]bool
+	disabled dense.Bitmap
+	// satSector marks data sectors whose compact counter has saturated;
+	// satCount is the per-block tally of such sectors (the adaptive
+	// threshold input) and satBlocks counts blocks with a nonzero tally.
+	// Together they replace the old per-block map-of-sets, which sat on
+	// the write path of every saturated sector.
+	satSector dense.Bitmap
+	satCount  dense.U32
+	satBlocks int
 }
 
 // NewCompactView builds the view. threshold is the adaptive disable
@@ -135,8 +144,6 @@ func NewCompactView(kind CompactKind, store *SplitStore, threshold int) (*Compac
 		kind:      kind,
 		store:     store,
 		threshold: threshold,
-		disabled:  make(map[uint64]bool),
-		saturated: make(map[uint64]map[uint64]bool),
 	}, nil
 }
 
@@ -176,13 +183,13 @@ func (v *CompactView) Value(i uint64) uint32 {
 
 // Disabled reports the enable-bit state of sector i's compact block.
 func (v *CompactView) Disabled(i uint64) bool {
-	return v.kind == Compact3BitAdaptive && v.disabled[v.BlockOf(i)]
+	return v.kind == Compact3BitAdaptive && v.disabled.Get(v.BlockOf(i))
 }
 
 // SaturatedCount returns how many covered sectors of i's compact block
 // have saturated counters (adaptive bookkeeping).
 func (v *CompactView) SaturatedCount(i uint64) int {
-	return len(v.saturated[v.BlockOf(i)])
+	return int(v.satCount.Get(v.BlockOf(i)))
 }
 
 // Classify resolves how a read of sector i's counter is served, per the
@@ -219,21 +226,32 @@ func (v *CompactView) NoteWrite(i uint64) (Outcome, bool) {
 	if v.kind != Compact3BitAdaptive {
 		return out, false
 	}
-	if nowSat {
+	if nowSat && !v.satSector.Get(i) {
 		b := v.BlockOf(i)
-		set := v.saturated[b]
-		if set == nil {
-			set = make(map[uint64]bool)
-			v.saturated[b] = set
+		v.satSector.Set(i)
+		n := v.satCount.Get(b) + 1
+		v.satCount.Set(b, n)
+		if n == 1 {
+			v.satBlocks++
 		}
-		if !set[i] {
-			set[i] = true
-			if len(set) >= v.threshold {
-				v.disabled[b] = true
-				delete(v.saturated, b)
-				return out, true
-			}
+		if int(n) >= v.threshold {
+			v.disableBlock(b)
+			return out, true
 		}
 	}
 	return out, false
+}
+
+// disableBlock sets block b's enable bit and drops its saturation
+// bookkeeping (matching the old map-delete semantics: SaturatedCount
+// reads zero for a disabled block).
+func (v *CompactView) disableBlock(b uint64) {
+	v.disabled.Set(b)
+	lo := b * uint64(4*v.kind.CountersPerSector())
+	hi := lo + uint64(4*v.kind.CountersPerSector())
+	for s := lo; s < hi; s++ {
+		v.satSector.Clear(s)
+	}
+	v.satCount.Set(b, 0)
+	v.satBlocks--
 }

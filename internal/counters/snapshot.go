@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/plutus-gpu/plutus/internal/checkpoint"
+	"github.com/plutus-gpu/plutus/internal/dense"
 )
 
 // Snapshot encodes the split store's materialized groups in ascending
@@ -13,15 +14,15 @@ import (
 // OnOverflow hook is runtime wiring, not state, and is never touched.
 func (s *SplitStore) Snapshot(enc *checkpoint.Encoder) error {
 	enc.U32(uint32(s.cfg.GroupSize))
-	enc.U64(uint64(len(s.groups)))
-	for _, gi := range checkpoint.SortedKeys(s.groups) {
-		g := s.groups[gi]
+	enc.U64(uint64(s.present.Count()))
+	s.present.ForEach(func(gi uint64) {
 		enc.U64(gi)
-		enc.U64(g.major)
-		for _, m := range g.minors {
-			enc.U32(m)
+		enc.U64(s.majors.Get(gi))
+		base := gi * uint64(s.cfg.GroupSize)
+		for k := 0; k < s.cfg.GroupSize; k++ {
+			enc.U32(s.minors.Get(base + uint64(k)))
 		}
-	}
+	})
 	return nil
 }
 
@@ -36,23 +37,25 @@ func (s *SplitStore) Restore(dec *checkpoint.Decoder) error {
 		return fmt.Errorf("counters: snapshot group size %d, store has %d: %w",
 			groupSize, s.cfg.GroupSize, checkpoint.ErrMismatch)
 	}
+	var majors dense.U64
+	var minors dense.U32
+	var present dense.Bitmap
 	n := dec.U64()
-	groups := make(map[uint64]*group, n)
-	for i := uint64(0); i < n; i++ {
+	for i := uint64(0); i < n && dec.Err() == nil; i++ {
 		gi := dec.U64()
-		g := &group{major: dec.U64(), minors: make([]uint32, s.cfg.GroupSize)}
-		for k := range g.minors {
-			g.minors[k] = dec.U32()
+		present.Set(gi)
+		majors.Set(gi, dec.U64())
+		base := gi * uint64(s.cfg.GroupSize)
+		for k := 0; k < s.cfg.GroupSize; k++ {
+			minors.Set(base+uint64(k), dec.U32())
 		}
-		if dec.Err() != nil {
-			break
-		}
-		groups[gi] = g
 	}
 	if err := dec.Err(); err != nil {
 		return fmt.Errorf("counters: split store: %w", err)
 	}
-	s.groups = groups
+	s.majors = majors
+	s.minors = minors
+	s.present = present
 	return nil
 }
 
@@ -62,20 +65,24 @@ func (s *SplitStore) Restore(dec *checkpoint.Decoder) error {
 // are not duplicated here.
 func (v *CompactView) Snapshot(enc *checkpoint.Encoder) error {
 	enc.U8(uint8(v.kind))
-	enc.U64(uint64(len(v.disabled)))
-	for _, b := range checkpoint.SortedKeys(v.disabled) {
+	enc.U64(uint64(v.disabled.Count()))
+	v.disabled.ForEach(func(b uint64) {
 		enc.U64(b)
-		enc.Bool(v.disabled[b])
-	}
-	enc.U64(uint64(len(v.saturated)))
-	for _, b := range checkpoint.SortedKeys(v.saturated) {
-		set := v.saturated[b]
-		enc.U64(b)
-		enc.U64(uint64(len(set)))
-		for _, i := range checkpoint.SortedKeys(set) {
-			enc.U64(i)
+		enc.Bool(true)
+	})
+	enc.U64(uint64(v.satBlocks))
+	// Walking the saturated-sector bitmap visits sectors in ascending
+	// order, so blocks appear ascending with their sectors grouped —
+	// the same (block, sorted sector list) layout as before.
+	cur := ^uint64(0)
+	v.satSector.ForEach(func(i uint64) {
+		if b := v.BlockOf(i); b != cur {
+			cur = b
+			enc.U64(b)
+			enc.U64(uint64(v.satCount.Get(b)))
 		}
-	}
+		enc.U64(i)
+	})
 	return nil
 }
 
@@ -89,27 +96,34 @@ func (v *CompactView) Restore(dec *checkpoint.Decoder) error {
 		return fmt.Errorf("counters: snapshot compact kind %s, view is %s: %w",
 			kind, v.kind, checkpoint.ErrMismatch)
 	}
+	var disabled, satSector dense.Bitmap
+	var satCount dense.U32
+	satBlocks := 0
 	nd := dec.U64()
-	disabled := make(map[uint64]bool, nd)
 	for i := uint64(0); i < nd && dec.Err() == nil; i++ {
 		b := dec.U64()
-		disabled[b] = dec.Bool()
+		if dec.Bool() {
+			disabled.Set(b)
+		}
 	}
 	ns := dec.U64()
-	saturated := make(map[uint64]map[uint64]bool, ns)
 	for i := uint64(0); i < ns && dec.Err() == nil; i++ {
 		b := dec.U64()
 		cnt := dec.U64()
-		set := make(map[uint64]bool, cnt)
-		for k := uint64(0); k < cnt && dec.Err() == nil; k++ {
-			set[dec.U64()] = true
+		if cnt > 0 {
+			satBlocks++
 		}
-		saturated[b] = set
+		satCount.Set(b, uint32(cnt))
+		for k := uint64(0); k < cnt && dec.Err() == nil; k++ {
+			satSector.Set(dec.U64())
+		}
 	}
 	if err := dec.Err(); err != nil {
 		return fmt.Errorf("counters: compact view: %w", err)
 	}
 	v.disabled = disabled
-	v.saturated = saturated
+	v.satSector = satSector
+	v.satCount = satCount
+	v.satBlocks = satBlocks
 	return nil
 }

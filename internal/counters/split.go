@@ -18,7 +18,11 @@
 // the two can never disagree about the value used for encryption.
 package counters
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/plutus-gpu/plutus/internal/dense"
+)
 
 // SplitConfig fixes the split-counter geometry.
 type SplitConfig struct {
@@ -45,23 +49,25 @@ func (c SplitConfig) Validate() error {
 	return nil
 }
 
-type group struct {
-	major  uint64
-	minors []uint32
-}
-
 // SplitStore holds the logical split-counter state for one partition's
-// data sectors, indexed by partition-local data-sector index.
+// data sectors, indexed by partition-local data-sector index. Counter
+// values live in dense paged arrays (majors by group, minors by sector):
+// counter reads sit on every encrypt/decrypt and every unit hash, and the
+// previous map-of-groups layout made each one a hash probe.
 type SplitStore struct {
 	cfg      SplitConfig
 	minorMax uint32
-	groups   map[uint64]*group
+	majors   dense.U64    // by group index
+	minors   dense.U32    // by data-sector index
+	present  dense.Bitmap // materialized groups (Groups() and snapshots)
 
 	// OnOverflow, if set, is called when a minor overflow increments a
 	// group's major counter. sectors lists every data-sector index in the
 	// group; the secure-memory engine re-encrypts them (the standard
 	// split-counter overflow cost).
 	OnOverflow func(groupIdx uint64, sectors []uint64)
+
+	overflowScratch []uint64 // reused OnOverflow argument buffer
 }
 
 // NewSplitStore builds an empty store (all counters zero).
@@ -72,7 +78,6 @@ func NewSplitStore(cfg SplitConfig) (*SplitStore, error) {
 	return &SplitStore{
 		cfg:      cfg,
 		minorMax: 1<<cfg.MinorBits - 1,
-		groups:   make(map[uint64]*group),
 	}, nil
 }
 
@@ -99,72 +104,49 @@ func (s *SplitStore) GroupSectors(gi uint64) (lo, hi uint64) {
 	return lo, lo + uint64(s.cfg.GroupSize)
 }
 
-func (s *SplitStore) groupFor(i uint64) *group {
-	gi := s.GroupOf(i)
-	g, ok := s.groups[gi]
-	if !ok {
-		g = &group{minors: make([]uint32, s.cfg.GroupSize)}
-		s.groups[gi] = g
-	}
-	return g
-}
-
 // Value returns the effective encryption counter of data sector i.
 func (s *SplitStore) Value(i uint64) uint64 {
-	gi := s.GroupOf(i)
-	g, ok := s.groups[gi]
-	if !ok {
-		return 0
-	}
-	return g.major<<uint(s.cfg.MinorBits) | uint64(g.minors[i%uint64(s.cfg.GroupSize)])
+	return s.majors.Get(s.GroupOf(i))<<uint(s.cfg.MinorBits) | uint64(s.minors.Get(i))
 }
 
 // Major returns group gi's major counter.
-func (s *SplitStore) Major(gi uint64) uint64 {
-	if g, ok := s.groups[gi]; ok {
-		return g.major
-	}
-	return 0
-}
+func (s *SplitStore) Major(gi uint64) uint64 { return s.majors.Get(gi) }
 
 // Minor returns data sector i's minor counter.
-func (s *SplitStore) Minor(i uint64) uint32 {
-	if g, ok := s.groups[s.GroupOf(i)]; ok {
-		return g.minors[i%uint64(s.cfg.GroupSize)]
-	}
-	return 0
-}
+func (s *SplitStore) Minor(i uint64) uint32 { return s.minors.Get(i) }
 
 // Increment bumps sector i's counter for a writeback and returns the new
 // effective value. If the minor overflows, the group's major is
 // incremented, every minor resets to zero, OnOverflow fires, and
 // overflowed is true.
 func (s *SplitStore) Increment(i uint64) (value uint64, overflowed bool) {
-	g := s.groupFor(i)
-	slot := i % uint64(s.cfg.GroupSize)
-	if g.minors[slot] < s.minorMax {
-		g.minors[slot]++
-		return g.major<<uint(s.cfg.MinorBits) | uint64(g.minors[slot]), false
+	gi := s.GroupOf(i)
+	s.present.Set(gi)
+	major := s.majors.Get(gi)
+	if m := s.minors.Get(i); m < s.minorMax {
+		s.minors.Set(i, m+1)
+		return major<<uint(s.cfg.MinorBits) | uint64(m+1), false
 	}
 	// Minor overflow: bump major, reset all minors, re-encrypt the group.
-	g.major++
-	for k := range g.minors {
-		g.minors[k] = 0
+	major++
+	s.majors.Set(gi, major)
+	base := gi * uint64(s.cfg.GroupSize)
+	for k := 0; k < s.cfg.GroupSize; k++ {
+		s.minors.Set(base+uint64(k), 0)
 	}
 	if s.OnOverflow != nil {
-		gi := s.GroupOf(i)
-		base := gi * uint64(s.cfg.GroupSize)
-		sectors := make([]uint64, s.cfg.GroupSize)
-		for k := range sectors {
-			sectors[k] = base + uint64(k)
+		sectors := s.overflowScratch[:0]
+		for k := 0; k < s.cfg.GroupSize; k++ {
+			sectors = append(sectors, base+uint64(k))
 		}
+		s.overflowScratch = sectors
 		s.OnOverflow(gi, sectors)
 	}
-	return g.major << uint(s.cfg.MinorBits), true
+	return major << uint(s.cfg.MinorBits), true
 }
 
 // Touched reports whether sector i's counter has ever been incremented.
 func (s *SplitStore) Touched(i uint64) bool { return s.Value(i) != 0 }
 
 // Groups returns the number of materialized counter groups (for tests).
-func (s *SplitStore) Groups() int { return len(s.groups) }
+func (s *SplitStore) Groups() int { return s.present.Count() }

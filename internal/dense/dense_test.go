@@ -1,0 +1,173 @@
+package dense
+
+import (
+	"sort"
+	"testing"
+)
+
+// xorshift is the package-test PRNG (math/rand is banned in
+// determinism-scoped packages by simlint's detrand analyzer).
+type xorshift uint64
+
+func (x *xorshift) next() uint64 {
+	v := *x
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = v
+	return uint64(v)
+}
+
+// TestBitmapBasics: Set/Get/Clear/Count against a reference map, with
+// indices spanning many pages, and ForEach visiting exactly the set
+// indices in ascending order.
+func TestBitmapBasics(t *testing.T) {
+	var b Bitmap
+	ref := map[uint64]bool{}
+	rng := xorshift(42)
+	for n := 0; n < 20000; n++ {
+		i := rng.next() % (64 * pageSize)
+		if rng.next()%3 == 0 {
+			b.Clear(i)
+			delete(ref, i)
+		} else {
+			b.Set(i)
+			ref[i] = true
+		}
+	}
+	if b.Count() != len(ref) {
+		t.Fatalf("Count() = %d, want %d", b.Count(), len(ref))
+	}
+	for i := range ref {
+		if !b.Get(i) {
+			t.Fatalf("Get(%d) = false, want true", i)
+		}
+	}
+	var got []uint64
+	b.ForEach(func(i uint64) { got = append(got, i) })
+	if len(got) != len(ref) {
+		t.Fatalf("ForEach visited %d indices, want %d", len(got), len(ref))
+	}
+	if !sort.SliceIsSorted(got, func(a, b int) bool { return got[a] < got[b] }) {
+		t.Fatal("ForEach order is not ascending")
+	}
+	for _, i := range got {
+		if !ref[i] {
+			t.Fatalf("ForEach visited unset index %d", i)
+		}
+	}
+	b.Reset()
+	if b.Count() != 0 || b.Get(got[0]) {
+		t.Fatal("Reset did not clear the bitmap")
+	}
+}
+
+// TestBitmapClearUntouched: clearing an index whose page was never
+// allocated must not allocate the page or disturb the count.
+func TestBitmapClearUntouched(t *testing.T) {
+	var b Bitmap
+	b.Clear(10 * pageSize)
+	if b.Count() != 0 {
+		t.Fatalf("Count() = %d after clearing an untouched index", b.Count())
+	}
+	if b.Get(10 * pageSize) {
+		t.Fatal("Get reports an index that was only ever cleared")
+	}
+}
+
+// TestU64U32ZeroDefault: reads from untouched indices return zero;
+// writes round-trip across page boundaries, including overwrites and
+// explicit zero stores.
+func TestU64U32ZeroDefault(t *testing.T) {
+	var v64 U64
+	var v32 U32
+	if v64.Get(3*pageSize+7) != 0 || v32.Get(5*pageSize+1) != 0 {
+		t.Fatal("untouched index is nonzero")
+	}
+	ref64 := map[uint64]uint64{}
+	ref32 := map[uint64]uint32{}
+	rng := xorshift(7)
+	for n := 0; n < 20000; n++ {
+		i := rng.next() % (32 * pageSize)
+		x := rng.next()
+		if n%17 == 0 {
+			x = 0 // explicit zero store must also round-trip
+		}
+		v64.Set(i, x)
+		ref64[i] = x
+		v32.Set(i, uint32(x))
+		ref32[i] = uint32(x)
+	}
+	for i, want := range ref64 {
+		if got := v64.Get(i); got != want {
+			t.Fatalf("U64.Get(%d) = %d, want %d", i, got, want)
+		}
+	}
+	for i, want := range ref32 {
+		if got := v32.Get(i); got != want {
+			t.Fatalf("U32.Get(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestSectors: Put/Lookup/Delete/Count against a reference map, Delete
+// zeroing record bytes (so a re-Put starts clean), and ForEach walking
+// present records ascending with the stored contents.
+func TestSectors(t *testing.T) {
+	var s Sectors
+	ref := map[uint64][SectorBytes]byte{}
+	rng := xorshift(0xdeadbeef)
+	for n := 0; n < 8000; n++ {
+		i := rng.next() % (16 * pageSize)
+		if rng.next()%4 == 0 {
+			s.Delete(i)
+			delete(ref, i)
+			continue
+		}
+		var rec [SectorBytes]byte
+		for j := range rec {
+			rec[j] = byte(rng.next())
+		}
+		copy(s.Put(i), rec[:])
+		ref[i] = rec
+	}
+	if s.Count() != len(ref) {
+		t.Fatalf("Count() = %d, want %d", s.Count(), len(ref))
+	}
+	for i, want := range ref {
+		got, ok := s.Lookup(i)
+		if !ok {
+			t.Fatalf("Lookup(%d) missing", i)
+		}
+		if string(got) != string(want[:]) {
+			t.Fatalf("Lookup(%d) = %x, want %x", i, got, want)
+		}
+	}
+	var visited []uint64
+	s.ForEach(func(i uint64, rec []byte) {
+		visited = append(visited, i)
+		want := ref[i]
+		if string(rec) != string(want[:]) {
+			t.Fatalf("ForEach(%d) = %x, want %x", i, rec, want)
+		}
+	})
+	if len(visited) != len(ref) {
+		t.Fatalf("ForEach visited %d records, want %d", len(visited), len(ref))
+	}
+	if !sort.SliceIsSorted(visited, func(a, b int) bool { return visited[a] < visited[b] }) {
+		t.Fatal("Sectors.ForEach order is not ascending")
+	}
+
+	// Delete must zero the backing bytes: a later Put of the same index
+	// hands out a clean record even without the caller overwriting it.
+	i := visited[0]
+	s.Delete(i)
+	if _, ok := s.Lookup(i); ok {
+		t.Fatalf("Lookup(%d) present after Delete", i)
+	}
+	for j, b := range s.Put(i) {
+		if b != 0 {
+			t.Fatalf("Put(%d) after Delete: byte %d = %#x, want 0", i, j, b)
+		}
+	}
+}

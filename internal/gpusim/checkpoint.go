@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/plutus-gpu/plutus/internal/checkpoint"
+	"github.com/plutus-gpu/plutus/internal/dense"
 	"github.com/plutus-gpu/plutus/internal/geom"
 	"github.com/plutus-gpu/plutus/internal/sim"
 	"github.com/plutus-gpu/plutus/internal/stats"
@@ -220,9 +221,9 @@ func (g *GPU) quiescenceError() error {
 		case p.sec.Pending() != 0:
 			return fmt.Errorf("gpusim: partition %d has %d pending secmem requests: %w",
 				p.id, p.sec.Pending(), checkpoint.ErrNotQuiescent)
-		case len(p.mshrWait) != 0:
+		case p.mshrWait.Len() != 0:
 			return fmt.Errorf("gpusim: partition %d has %d MSHR waiters: %w",
-				p.id, len(p.mshrWait), checkpoint.ErrNotQuiescent)
+				p.id, p.mshrWait.Len(), checkpoint.ErrNotQuiescent)
 		}
 	}
 	return nil
@@ -286,11 +287,11 @@ func (g *GPU) WriteSnapshot() ([]byte, error) {
 		if err := p.l2.Snapshot(pe); err != nil {
 			return nil, err
 		}
-		pe.U64(uint64(len(p.l2data)))
-		for _, a := range checkpoint.SortedKeys(p.l2data) {
-			pe.U64(uint64(a))
-			pe.Bytes(p.l2data[a])
-		}
+		pe.U64(uint64(p.l2data.Count()))
+		p.l2data.ForEach(func(si uint64, rec []byte) {
+			pe.U64(si * geom.SectorSize)
+			pe.Bytes(rec)
+		})
 		if err := p.sec.Snapshot(pe); err != nil {
 			return nil, err
 		}
@@ -414,10 +415,17 @@ func ResumeSnapshot(cfg Config, wl Workload, data []byte) (*GPU, error) {
 			return nil, err
 		}
 		nd := pd.U64()
-		l2data := make(map[geom.Addr][]byte, nd)
+		var l2data dense.Sectors
 		for i := uint64(0); i < nd && pd.Err() == nil; i++ {
 			a := geom.Addr(pd.U64())
-			l2data[a] = pd.Bytes()
+			rec := pd.Bytes()
+			if len(rec) != geom.SectorSize && pd.Err() == nil {
+				return nil, fmt.Errorf("gpusim: L2 sector %#x has %d bytes, want %d: %w",
+					uint64(a), len(rec), geom.SectorSize, checkpoint.ErrCorrupt)
+			}
+			if pd.Err() == nil {
+				copy(l2data.Put(uint64(a)/geom.SectorSize), rec)
+			}
 		}
 		p.l2data = l2data
 		if err := p.sec.Restore(pd); err != nil {

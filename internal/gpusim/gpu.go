@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/plutus-gpu/plutus/internal/cache"
+	"github.com/plutus-gpu/plutus/internal/dense"
 	"github.com/plutus-gpu/plutus/internal/dram"
 	"github.com/plutus-gpu/plutus/internal/geom"
 	"github.com/plutus-gpu/plutus/internal/secmem"
@@ -32,6 +33,10 @@ type GPU struct {
 	parts   []*partition
 	sms     []*smCtx
 	warps   []*warpCtx
+
+	// coalesceBuf is the SM shard's reusable sector-dedup scratch; see
+	// coalesce for the aliasing contract.
+	coalesceBuf []geom.Addr
 
 	issued      uint64
 	loads       uint64
@@ -66,30 +71,25 @@ type partition struct {
 	shard  *sim.Shard
 	eng    *sim.Engine // partition-local engine (shard's)
 	l2     *cache.Cache
-	l2data map[geom.Addr][]byte // local sector addr → plaintext
+	l2data dense.Sectors // by local sector index → plaintext
 	sec    *secmem.Engine
 	ch     *dram.Channel
 	st     *stats.Stats
 	l2Free sim.Cycle // L2 bank single-issue ladder
 	// mshrWait queues requests blocked on a full L2 MSHR file; they are
 	// released when a fill frees an entry (no polling).
-	mshrWait []func()
+	mshrWait sim.FuncQueue
 }
 
 // releaseMSHRWaiters wakes as many blocked requests as there are free
 // MSHR entries (waking more would only re-park them).
 func (p *partition) releaseMSHRWaiters() {
 	n := p.l2.FreeMSHRs()
-	if n > len(p.mshrWait) {
-		n = len(p.mshrWait)
+	if m := p.mshrWait.Len(); n > m {
+		n = m
 	}
-	if n <= 0 {
-		return
-	}
-	q := p.mshrWait[:n]
-	p.mshrWait = append(p.mshrWait[:0:0], p.mshrWait[n:]...)
-	for _, fn := range q {
-		p.eng.Schedule(1, fn)
+	for ; n > 0; n-- {
+		p.eng.Schedule(1, p.mshrWait.Pop())
 	}
 }
 
@@ -135,12 +135,11 @@ func New(cfg Config, wl Workload) (*GPU, error) {
 	for p := 0; p < cfg.Partitions; p++ {
 		shard := g.cluster.Shard(1 + p)
 		part := &partition{
-			id:     p,
-			gpu:    g,
-			shard:  shard,
-			eng:    shard.Engine(),
-			l2data: make(map[geom.Addr][]byte),
-			st:     &stats.Stats{},
+			id:    p,
+			gpu:   g,
+			shard: shard,
+			eng:   shard.Engine(),
+			st:    &stats.Stats{},
 		}
 		part.l2 = cache.MustNew(cache.Config{
 			Name:      fmt.Sprintf("l2.%d", p),
@@ -234,7 +233,7 @@ func (g *GPU) execute(w *warpCtx, inst Inst) {
 		g.eng.Schedule(sim.Cycle(c), func() { g.fetch(w) })
 	case Load:
 		g.loads++
-		sectors := coalesce(inst.Addrs)
+		sectors := g.coalesce(inst.Addrs)
 		if len(sectors) == 0 {
 			g.eng.Schedule(1, func() { g.fetch(w) })
 			return
@@ -253,7 +252,7 @@ func (g *GPU) execute(w *warpCtx, inst Inst) {
 		}
 	case Store:
 		g.stores++
-		for _, s := range coalesce(inst.Addrs) {
+		for _, s := range g.coalesce(inst.Addrs) {
 			g.routeStore(w, s)
 		}
 		// Stores retire immediately (write-back hierarchy absorbs them).
@@ -269,18 +268,27 @@ func (g *GPU) retire(w *warpCtx) {
 }
 
 // coalesce reduces per-thread addresses to their unique sectors,
-// preserving first-touch order.
-func coalesce(addrs []geom.Addr) []geom.Addr {
-	out := addrs[:0:0]
-	seen := make(map[geom.Addr]struct{}, len(addrs))
+// preserving first-touch order. The result aliases a scratch buffer
+// owned by the SM shard and is only valid until the next coalesce call;
+// callers consume it synchronously (the interconnect closures capture
+// sector values, never the slice). Warps are a few dozen threads wide,
+// so a linear dedup scan beats a per-instruction map.
+func (g *GPU) coalesce(addrs []geom.Addr) []geom.Addr {
+	out := g.coalesceBuf[:0]
 	for _, a := range addrs {
 		s := geom.SectorAddr(a)
-		if _, ok := seen[s]; ok {
-			continue
+		dup := false
+		for _, u := range out {
+			if u == s {
+				dup = true
+				break
+			}
 		}
-		seen[s] = struct{}{}
-		out = append(out, s)
+		if !dup {
+			out = append(out, s)
+		}
 	}
+	g.coalesceBuf = out
 	return out
 }
 
@@ -353,7 +361,7 @@ func (p *partition) l2Load(local geom.Addr, respond func()) {
 			// A store may have raced ahead of this fill; its dirty data
 			// is newer than what memory returned.
 			if p.l2.DirtyMask(sa)&geom.MaskFor(sa) == 0 {
-				p.l2data[sa] = res.Data
+				copy(p.l2data.Put(uint64(sa)/geom.SectorSize), res.Data)
 			}
 			evs, done, waiters := p.l2.FillSectors(m, need, false)
 			p.handleL2Evictions(evs)
@@ -365,7 +373,7 @@ func (p *partition) l2Load(local geom.Addr, respond func()) {
 			}
 		})
 	case cache.MissNoMSHR:
-		p.mshrWait = append(p.mshrWait, func() { p.l2Load(local, respond) })
+		p.mshrWait.Push(func() { p.l2Load(local, respond) })
 	}
 }
 
@@ -391,7 +399,7 @@ func (p *partition) store(local geom.Addr, data []byte) {
 			evs := p.l2.Insert(local, mask, true)
 			p.handleL2Evictions(evs)
 		}
-		p.l2data[geom.SectorAddr(local)] = data
+		copy(p.l2data.Put(uint64(geom.SectorAddr(local))/geom.SectorSize), data)
 	})
 }
 
@@ -400,14 +408,17 @@ func (p *partition) handleL2Evictions(evs []cache.Eviction) {
 	for _, ev := range evs {
 		for s := 0; s < geom.SectorsPerBlock; s++ {
 			sa := ev.Addr + geom.Addr(s*geom.SectorSize)
-			data, resident := p.l2data[sa]
+			si := uint64(sa) / geom.SectorSize
+			data, resident := p.l2data.Lookup(si)
 			if ev.Dirty.Has(s) {
 				if !resident {
 					panic(fmt.Sprintf("gpusim: dirty L2 sector %#x has no data", sa))
 				}
+				// Writeback copies the sector before returning, so handing
+				// it a slice aliasing the dense store is safe to delete.
 				p.sec.Writeback(sa, data, nil)
 			}
-			delete(p.l2data, sa)
+			p.l2data.Delete(si)
 		}
 	}
 }
@@ -417,7 +428,7 @@ func (p *partition) flushL2() {
 	p.l2.WalkDirty(func(block geom.Addr, dirty geom.SectorMask) {
 		dirty.Sectors(func(s int) {
 			sa := block + geom.Addr(s*geom.SectorSize)
-			if data, ok := p.l2data[sa]; ok {
+			if data, ok := p.l2data.Lookup(uint64(sa) / geom.SectorSize); ok {
 				p.sec.Writeback(sa, data, nil)
 			}
 		})
@@ -458,7 +469,7 @@ func (g *GPU) DebugHungWarps() (active, pendingSum int, mshrWait int, l2Inflight
 		}
 	}
 	for _, p := range g.parts {
-		mshrWait += len(p.mshrWait)
+		mshrWait += p.mshrWait.Len()
 		l2Inflight += p.l2.InflightMisses()
 		secPending += p.sec.Pending()
 	}

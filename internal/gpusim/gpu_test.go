@@ -109,13 +109,14 @@ func TestCoalescing(t *testing.T) {
 	for i := 0; i < 32; i++ {
 		addrs = append(addrs, geom.Addr(i*4))
 	}
-	got := coalesce(addrs)
+	var g GPU
+	got := g.coalesce(addrs)
 	if len(got) != 4 {
 		t.Fatalf("coalesced to %d sectors, want 4", len(got))
 	}
 	// Scattered addresses stay scattered.
 	scattered := []geom.Addr{0, 4096, 8192, 0}
-	if got := coalesce(scattered); len(got) != 3 {
+	if got := g.coalesce(scattered); len(got) != 3 {
 		t.Fatalf("scattered coalesced to %d, want 3", len(got))
 	}
 }

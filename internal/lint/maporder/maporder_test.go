@@ -22,3 +22,12 @@ func TestMapOrder(t *testing.T) {
 func TestMapOrderCheckpoint(t *testing.T) {
 	analysistest.Run(t, maporder.Analyzer, "internal/checkpoint")
 }
+
+// TestMapOrderDense: the dense paged stores exist to replace map-keyed
+// hot-path state with deterministic ascending walks; the fixture pins
+// that pooled events draining a scratch map (or unsorted collects and
+// dumps of the page table) are still flagged, while the ForEach shape
+// is clean.
+func TestMapOrderDense(t *testing.T) {
+	analysistest.Run(t, maporder.Analyzer, "internal/dense")
+}

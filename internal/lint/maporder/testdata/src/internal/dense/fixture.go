@@ -1,0 +1,63 @@
+// Fixture: internal/dense is the hot-path paged-store package the perf
+// overhaul introduced to *replace* map-keyed simulation state. Its whole
+// reason to exist is deterministic ascending iteration, so any map range
+// creeping back in here that feeds events, appends, or output must be
+// flagged — pooled events must not smuggle map iteration order into the
+// dispatch sequence.
+package dense
+
+import (
+	"fmt"
+	"strings"
+
+	"internal/sim"
+)
+
+// Bitmap is a stub of the real paged bitset: ForEach walks ascending,
+// which is the sanctioned replacement for ranging a map[uint64]bool.
+type Bitmap struct{}
+
+// ForEach visits set indices in ascending order.
+func (b *Bitmap) ForEach(fn func(i uint64)) {}
+
+// scheduleFromMap is the regression this fixture pins: flushing a
+// scratch map straight into the event queue reintroduces random
+// dispatch order behind the pooled-event API.
+func scheduleFromMap(eng *sim.Engine, dirty map[uint64]func()) {
+	for _, fn := range dirty {
+		eng.Schedule(1, fn) // want `Schedule inside a map range schedules events in random iteration order`
+	}
+}
+
+// scheduleFromBitmap is the sanctioned shape: the dense store iterates
+// ascending, so the schedule order is deterministic.
+func scheduleFromBitmap(eng *sim.Engine, present *Bitmap, fns []func()) {
+	present.ForEach(func(i uint64) {
+		eng.Schedule(1, fns[i])
+	})
+}
+
+func collectUnsorted(pages map[uint64][]byte) []uint64 {
+	var idx []uint64
+	for k := range pages {
+		idx = append(idx, k) // want `append to idx inside a map range records random iteration order`
+	}
+	return idx
+}
+
+func dumpUnsorted(pages map[uint64][]byte) string {
+	var b strings.Builder
+	for k, pg := range pages {
+		fmt.Fprintf(&b, "%d:%x\n", k, pg) // want `fmt\.Fprintf inside a map range emits output in random iteration order`
+	}
+	return b.String()
+}
+
+// countPages is order-insensitive bookkeeping: clean.
+func countPages(pages map[uint64][]byte) int {
+	n := 0
+	for range pages {
+		n++
+	}
+	return n
+}

@@ -47,3 +47,11 @@ func TestCommandFlagged(t *testing.T) {
 func TestCheckpointFlagged(t *testing.T) {
 	analysistest.Run(t, rawconc.Analyzer, "internal/checkpoint")
 }
+
+// TestDenseFlagged: the dense paged stores back per-shard simulation
+// state and must stay single-threaded — a "parallel page fill" would
+// race with the event loop — so internal/dense is sim-critical and its
+// raw primitives are flagged.
+func TestDenseFlagged(t *testing.T) {
+	analysistest.Run(t, rawconc.Analyzer, "internal/dense")
+}

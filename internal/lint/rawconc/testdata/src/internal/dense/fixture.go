@@ -1,0 +1,21 @@
+// Fixture: internal/dense backs DRAM images, counters, and cache state
+// on the hot path and is NOT on the rawconc allowlist — pooled stores
+// must stay single-threaded per shard, so any raw concurrency primitive
+// reaching for "faster" page filling must be flagged.
+package dense
+
+func parallelFill(pages [][]uint64) {
+	done := make(chan int) // want `make\(chan\) in determinism-scoped package internal/dense`
+	for i := range pages {
+		i := i
+		go func() { // want `go statement in determinism-scoped package internal/dense`
+			for j := range pages[i] {
+				pages[i][j] = 0
+			}
+			done <- i // want `raw channel send in determinism-scoped package internal/dense`
+		}()
+	}
+	for range pages {
+		<-done // want `raw channel receive in determinism-scoped package internal/dense`
+	}
+}

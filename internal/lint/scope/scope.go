@@ -49,6 +49,8 @@ var simCritical = []string{
 	"internal/stats",
 	"internal/checkpoint", // snapshot codec: serializes sim state byte-stably
 	"internal/tamper",     // attack plans: expansion must replay bit-identically
+	"internal/dense",      // hot-path paged stores: backs DRAM images, counters, caches
+	"internal/prof",       // profiling hooks ride inside simulating processes
 }
 
 func under(norm, root string) bool {

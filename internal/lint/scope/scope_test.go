@@ -30,6 +30,11 @@ func TestScopes(t *testing.T) {
 		{mod("internal/secmem"), true, true, true, true},
 		{mod("internal/crypto/siphash"), true, true, true, true},
 		{mod("internal/tamper"), true, true, true, true},
+		// Hot-path support packages added by the perf overhaul: the dense
+		// paged stores back simulation state directly, and the profiling
+		// hooks run inside simulating processes.
+		{mod("internal/dense"), true, true, true, true},
+		{mod("internal/prof"), true, true, true, true},
 		{mod("internal/harness"), false, true, false, true},
 		{ModulePath, false, true, true, true}, // module root: determinism tests
 		// rawconc is module-wide default-deny: commands and examples off

@@ -1,0 +1,52 @@
+// Package prof wires the standard -cpuprofile/-memprofile flags into
+// the CLI tools. The simulator's hot path is a single goroutine driving
+// the event engine (see DESIGN.md §10), so an ordinary pprof CPU profile
+// attributes nearly all samples to the per-access path under study.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling (if cpu is nonempty) and arranges for a
+// heap profile to be written at stop time (if mem is nonempty). The
+// returned stop function must run before the process exits — defer it
+// from main.
+func Start(cpu, mem string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		cpuFile, err = os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			// An up-to-date heap profile needs the GC's live-set
+			// bookkeeping to be current.
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				return fmt.Errorf("write heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -21,7 +21,7 @@ import "github.com/plutus-gpu/plutus/internal/geom"
 
 // markDataTainted records that sector local's DRAM data is mutated.
 func (e *Engine) markDataTainted(local geom.Addr) {
-	e.taintData[e.sectorIdx(local)] = true
+	e.taintData.Set(e.sectorIdx(local))
 	e.st.Sec.TamperInjected++
 }
 
@@ -70,9 +70,7 @@ func (e *Engine) SpliceCiphertext(dst, src geom.Addr) {
 	}
 	ct := e.materialize(src)
 	e.materialize(dst) // fix dst's legitimate MAC in the image first
-	buf := make([]byte, len(ct))
-	copy(buf, ct)
-	e.mem[dst] = buf
+	copy(e.mem.Put(e.sectorIdx(dst)), ct)
 	e.markDataTainted(dst)
 }
 
@@ -87,8 +85,8 @@ func (e *Engine) TamperMAC(local geom.Addr) {
 		return // no MACs in memory to attack
 	}
 	i := e.sectorIdx(local)
-	e.macs[i] ^= 1
-	e.taintMeta[i] = true
+	e.setMAC(i, e.macs.Get(i)^1)
+	e.taintMeta.Set(i)
 	e.st.Sec.TamperInjected++
 }
 
@@ -106,12 +104,12 @@ func (e *Engine) ReplayCounter(local geom.Addr) {
 	}
 	i := e.sectorIdx(geom.SectorAddr(local))
 	u := e.ctrUnitOf(i)
-	e.ctrReplayed[u] = true
+	e.ctrReplayed.Set(u)
 	// Evict the unit so the next access must refetch and verify it.
 	e.ctrCache.Invalidate(e.ctrUnitAddr(u))
 	if e.compact != nil {
 		cu := e.cctrUnitOf(i)
-		e.cctrReplayed[cu] = true
+		e.cctrReplayed.Set(cu)
 		e.cctrCache.Invalidate(e.cctrUnitAddr(cu))
 	}
 	e.st.Sec.TamperInjected++
@@ -145,5 +143,5 @@ func (e *Engine) CorruptBMTNode(local geom.Addr) {
 // DataTainted reports whether sector local's DRAM data currently holds
 // attacker-mutated content (oracle ground truth).
 func (e *Engine) DataTainted(local geom.Addr) bool {
-	return e.taintData[e.sectorIdx(geom.SectorAddr(local))]
+	return e.taintData.Get(e.sectorIdx(geom.SectorAddr(local)))
 }

@@ -71,7 +71,7 @@ func (e *Engine) Read(local geom.Addr, done func(ReadResult)) {
 			// No verification exists: a read of attacker-mutated data
 			// succeeds and returns the corruption — the baseline's
 			// defining failure.
-			if e.taintData[e.sectorIdx(local)] {
+			if e.taintData.Get(e.sectorIdx(local)) {
 				e.st.Sec.TaintedReads++
 				e.st.Sec.Verdicts.Record(stats.VerdictSilentCorruption)
 			}
@@ -99,7 +99,7 @@ func (e *Engine) Read(local geom.Addr, done func(ReadResult)) {
 func (e *Engine) completeRead(local geom.Addr, freshOK bool, finish func(ReadResult)) {
 	i := e.sectorIdx(local)
 	pt := e.plaintextOf(local)
-	tainted := e.taintData[i]
+	tainted := e.taintData.Get(i)
 	if tainted {
 		e.st.Sec.TaintedReads++
 	}
@@ -133,8 +133,8 @@ func (e *Engine) completeRead(local geom.Addr, freshOK bool, finish func(ReadRes
 	// concurrent writeback committing while the MAC block is in flight
 	// must not affect this read's result), so snapshot it now; the fetch
 	// and MAC-engine latency that follow are purely timing.
-	stale := e.macStale[i]
-	mismatch := !stale && e.currentMAC(local) != e.macs[i]
+	stale := e.macStale.Get(i)
+	mismatch := !stale && e.currentMAC(local) != e.macs.Get(i)
 	e.fetchMeta(e.macCache, e.macAddrOf(i), e.macCache.MaskFor(e.macAddrOf(i)), stats.MAC, func() {
 		e.eng.Schedule(e.cfg.MACLatency, func() {
 			e.st.Sec.MACVerified++
@@ -183,17 +183,15 @@ func (e *Engine) Writeback(local geom.Addr, data []byte, done func()) {
 	}
 
 	if e.cfg.NoSecurity {
-		pt := make([]byte, geom.SectorSize)
-		copy(pt, data)
-		e.mem[local] = pt
-		delete(e.taintData, e.sectorIdx(local)) // overwritten: corruption gone
+		copy(e.mem.Put(e.sectorIdx(local)), data)
+		e.taintData.Clear(e.sectorIdx(local)) // overwritten: corruption gone
 		e.ch.Access(local, true, stats.Data, func() { finish() })
 		return
 	}
 
 	// The first write to a region ends its common-counter (all-zero) era.
 	if e.cfg.CommonCounters {
-		e.regionWritten[e.regionOf(local)] = true
+		e.regionWritten.Set(e.regionOf(local))
 	}
 
 	pt := make([]byte, geom.SectorSize)
@@ -228,8 +226,8 @@ func (e *Engine) commitWrite(local geom.Addr, pt []byte, finish func()) {
 	_ = ct
 	// The sector's DRAM copy (and MAC, below) is rewritten wholesale:
 	// any earlier mutation of it is gone.
-	delete(e.taintData, i)
-	delete(e.taintMeta, i)
+	e.taintData.Clear(i)
+	e.taintMeta.Clear(i)
 
 	if e.compact == nil {
 		e.dirtyOriginalCounter(i)
@@ -249,7 +247,7 @@ func (e *Engine) commitWrite(local geom.Addr, pt []byte, finish func()) {
 			cca := e.cctrSectorAddr(i)
 			e.handleEvictions(e.cctrCache.Insert(cca, e.cctrCache.MaskFor(cca), true), stats.CompactCounter, false)
 			cu := e.cctrUnitOf(i)
-			delete(e.cctrReplayed, cu)
+			e.cctrReplayed.Clear(cu)
 			e.ctree.SetUnitHash(cu, e.compactUnitHash(cu))
 		}
 		if out != counters.ServedCompact {
@@ -277,11 +275,11 @@ func (e *Engine) commitWrite(local geom.Addr, pt []byte, finish func()) {
 	}
 	if skipMAC {
 		e.st.Sec.MACSkippedWrites++
-		e.macStale[i] = true
+		e.macStale.Set(i)
 	} else {
 		e.st.Sec.MACWrites++
-		e.macs[i] = e.currentMAC(local)
-		delete(e.macStale, i)
+		e.setMAC(i, e.currentMAC(local))
+		e.macStale.Clear(i)
 		ma := e.macAddrOf(i)
 		e.handleEvictions(e.macCache.Insert(ma, e.macCache.MaskFor(ma), true), stats.MAC, false)
 	}
@@ -301,7 +299,7 @@ func (e *Engine) dirtyOriginalCounter(i uint64) {
 	e.handleEvictions(e.ctrCache.Insert(ca, e.ctrCache.MaskFor(ca), true), stats.Counter, false)
 	u := e.ctrUnitOf(i)
 	// Writing the unit replaces any attacker-replayed DRAM copy.
-	delete(e.ctrReplayed, u)
+	e.ctrReplayed.Clear(u)
 	e.tree.SetUnitHash(u, e.counterUnitHash(u))
 	if e.cfg.EagerTreeUpdate && !e.cfg.NoTreeTraffic {
 		e.eagerWritePath(e.tree, e.lay.bmtBase, u, stats.BMT)
@@ -332,7 +330,7 @@ func (e *Engine) refreshDisabledBlockHashes(i uint64) {
 		u := e.ctrUnitOf(s)
 		if !seen[u] {
 			seen[u] = true
-			delete(e.ctrReplayed, u) // propagation rewrites the unit
+			e.ctrReplayed.Clear(u) // propagation rewrites the unit
 			e.tree.SetUnitHash(u, e.counterUnitHash(u))
 		}
 	}
@@ -349,7 +347,7 @@ func (e *Engine) bumpCounter(local geom.Addr) {
 		base := g * uint64(e.split.Config().GroupSize)
 		for k := 0; k < e.split.Config().GroupSize; k++ {
 			sa := geom.Addr((base + uint64(k)) * geom.SectorSize)
-			if _, ok := e.mem[sa]; ok {
+			if _, ok := e.mem.Lookup(base + uint64(k)); ok {
 				e.overflowPlain[sa] = e.plaintextOf(sa)
 			}
 		}
@@ -383,7 +381,7 @@ func (e *Engine) acquireCounter(local geom.Addr, j *join, freshOK *bool) {
 
 	// Common-counters fast path: a never-written region has all-zero
 	// counters known on-chip; no counter or tree traffic at all.
-	if e.cfg.CommonCounters && !e.regionWritten[e.regionOf(local)] {
+	if e.cfg.CommonCounters && !e.regionWritten.Get(e.regionOf(local)) {
 		return
 	}
 
@@ -511,7 +509,7 @@ func (e *Engine) fetchMeta2(mc *cache.Cache, addr geom.Addr, mask geom.SectorMas
 	case cache.MissNoMSHR:
 		// Park until some fill frees an MSHR (models MSHR-full stall
 		// without polling).
-		e.mshrWait = append(e.mshrWait, func() { e.fetchMeta2(mc, addr, mask, cl, done) })
+		e.mshrWait.Push(func() { e.fetchMeta2(mc, addr, mask, cl, done) })
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"github.com/plutus-gpu/plutus/internal/counters"
 	"github.com/plutus-gpu/plutus/internal/crypto/gcipher"
 	"github.com/plutus-gpu/plutus/internal/crypto/siphash"
+	"github.com/plutus-gpu/plutus/internal/dense"
 	"github.com/plutus-gpu/plutus/internal/dram"
 	"github.com/plutus-gpu/plutus/internal/geom"
 	"github.com/plutus-gpu/plutus/internal/sim"
@@ -56,33 +57,39 @@ type Engine struct {
 
 	lay layout
 
-	// Functional DRAM image: local sector address → 32 B ciphertext
-	// (plaintext when NoSecurity).
-	mem map[geom.Addr][]byte
-	// macs holds the DRAM copy of each data sector's truncated MAC.
-	macs map[uint64]uint64
+	// Functional DRAM image, indexed by data-sector index: 32 B
+	// ciphertext per sector (plaintext when NoSecurity). Presence is
+	// explicit — an absent sector is lazily materialized from InitData.
+	mem dense.Sectors
+	// macs holds the DRAM copy of each data sector's truncated MAC;
+	// macsSet tracks which entries were ever written (snapshot walks).
+	// Readers rely on the zero default, exactly as the old map did.
+	macs    dense.U64
+	macsSet dense.Bitmap
 	// macStale marks sectors whose DRAM MAC was deliberately not updated
 	// because the write carried the value-verification guarantee.
-	macStale map[uint64]bool
+	macStale dense.Bitmap
 	// taintData marks data sectors whose DRAM ciphertext an attacker
 	// mutated (flips, splices): their decrypted plaintext is compromised
 	// until the next writeback overwrites the sector. It is the ground
 	// truth the read path classifies verdicts against.
-	taintData map[uint64]bool
+	taintData dense.Bitmap
 	// taintMeta marks sectors whose DRAM MAC an attacker corrupted; the
 	// data itself is still authentic.
-	taintMeta map[uint64]bool
+	taintMeta dense.Bitmap
 	// ctrReplayed marks counter units whose DRAM copy an attacker rolled
 	// back to the boot image (all counters zero): verification recomputes
 	// the stale copy's hash until the controller rewrites the unit.
-	ctrReplayed map[uint64]bool
+	ctrReplayed dense.Bitmap
 	// cctrReplayed is ctrReplayed for the compact counter region.
-	cctrReplayed map[uint64]bool
+	cctrReplayed dense.Bitmap
 	// bmtTampered marks DRAM-resident tree nodes (by local address) an
-	// attacker corrupted: fetching one fails parent verification.
+	// attacker corrupted: fetching one fails parent verification. It is
+	// touched only by attack primitives and the (cold) tree walk, so it
+	// stays a map.
 	bmtTampered map[geom.Addr]bool
 	// regionWritten is the common-counters on-chip write tracker.
-	regionWritten map[uint64]bool
+	regionWritten dense.Bitmap
 
 	// InitData supplies the initial plaintext of a never-written sector
 	// (workload-defined memory contents). Nil means zero-filled.
@@ -92,8 +99,13 @@ type Engine struct {
 	// counter overflow resets the minors (see bumpCounter).
 	overflowPlain map[geom.Addr][]byte
 
+	// runPT/runCT/runCtrs are reusable buffers for batched re-encryption
+	// of contiguous sector runs on counter overflow.
+	runPT, runCT []byte
+	runCtrs      []uint64
+
 	// mshrWait queues metadata fetches blocked on a full MSHR file.
-	mshrWait []func()
+	mshrWait sim.FuncQueue
 
 	// hashScratch is the reusable serialization buffer for unit hashing
 	// (the hottest per-write path).
@@ -107,17 +119,12 @@ type Engine struct {
 // MSHR exhaustion (each fill frees one entry; waking the whole queue
 // would only re-park it).
 func (e *Engine) releaseMSHRWaiters() {
-	n := len(e.mshrWait)
+	n := e.mshrWait.Len()
 	if n > 8 {
 		n = 8
 	}
-	if n == 0 {
-		return
-	}
-	q := e.mshrWait[:n]
-	e.mshrWait = append(e.mshrWait[:0:0], e.mshrWait[n:]...)
-	for _, fn := range q {
-		e.eng.Schedule(1, fn)
+	for ; n > 0; n-- {
+		e.eng.Schedule(1, e.mshrWait.Pop())
 	}
 }
 
@@ -132,15 +139,7 @@ func New(cfg Config, eng *sim.Engine, ch *dram.Channel, st *stats.Stats) (*Engin
 		eng:           eng,
 		ch:            ch,
 		st:            st,
-		mem:           make(map[geom.Addr][]byte),
-		macs:          make(map[uint64]uint64),
-		macStale:      make(map[uint64]bool),
-		taintData:     make(map[uint64]bool),
-		taintMeta:     make(map[uint64]bool),
-		ctrReplayed:   make(map[uint64]bool),
-		cctrReplayed:  make(map[uint64]bool),
 		bmtTampered:   make(map[geom.Addr]bool),
-		regionWritten: make(map[uint64]bool),
 		overflowPlain: make(map[geom.Addr][]byte),
 	}
 	if cfg.NoSecurity {
@@ -332,7 +331,7 @@ func (e *Engine) freshUnitHash(u uint64) uint64 {
 // writes the unit (see dirtyOriginalCounter), which replaces the DRAM
 // copy with fresh state.
 func (e *Engine) counterUnitHash(u uint64) uint64 {
-	return e.hashCounterUnit(u, e.ctrReplayed[u])
+	return e.hashCounterUnit(u, e.ctrReplayed.Get(u))
 }
 
 // hashCounterUnit hashes unit u's serialized counter contents as they
@@ -394,7 +393,7 @@ func (e *Engine) freshCompactUnitHash(u uint64) uint64 {
 // compactUnitHash recomputes the hash of compact unit u's DRAM-resident
 // copy; a replayed unit hashes as the boot image (see counterUnitHash).
 func (e *Engine) compactUnitHash(u uint64) uint64 {
-	return e.hashCompactUnit(u, e.cctrReplayed[u])
+	return e.hashCompactUnit(u, e.cctrReplayed.Get(u))
 }
 
 // hashCompactUnit hashes compact unit u's counter values (contents only,
@@ -418,61 +417,67 @@ func (e *Engine) hashCompactUnit(u uint64, fresh bool) uint64 {
 
 // --- functional data-image helpers ---
 
-// materialize ensures the DRAM image holds sector local, lazily encrypting
-// the workload's initial contents under the sector's current counter.
-func (e *Engine) materialize(local geom.Addr) []byte {
-	local = geom.SectorAddr(local)
-	if ct, ok := e.mem[local]; ok {
-		return ct
-	}
-	pt := make([]byte, geom.SectorSize)
-	if e.InitData != nil {
-		copy(pt, e.InitData(local))
-	}
-	if e.cfg.NoSecurity {
-		e.mem[local] = pt
-		return pt
-	}
-	i := e.sectorIdx(local)
-	ctr := e.split.Value(i)
-	ct, err := e.enc.Encrypt(pt, uint64(local), ctr)
-	if err != nil {
-		panic(fmt.Sprintf("secmem: encrypt: %v", err))
-	}
-	e.mem[local] = ct
-	e.macs[i] = siphash.Truncate(siphash.SumTagged(e.macKey, ct, uint64(local), ctr), e.cfg.MACBytes)
-	return ct
+// setMAC stores sector i's truncated MAC in the DRAM image.
+func (e *Engine) setMAC(i uint64, mac uint64) {
+	e.macs.Set(i, mac)
+	e.macsSet.Set(i)
 }
 
-// plaintextOf decrypts the current DRAM image of sector local.
+// materialize ensures the DRAM image holds sector local, lazily encrypting
+// the workload's initial contents under the sector's current counter. The
+// returned slice aliases the dense image, so attack primitives mutate the
+// stored copy in place.
+func (e *Engine) materialize(local geom.Addr) []byte {
+	local = geom.SectorAddr(local)
+	i := e.sectorIdx(local)
+	if ct, ok := e.mem.Lookup(i); ok {
+		return ct
+	}
+	dst := e.mem.Put(i)
+	var pt [geom.SectorSize]byte
+	if e.InitData != nil {
+		copy(pt[:], e.InitData(local))
+	}
+	if e.cfg.NoSecurity {
+		copy(dst, pt[:])
+		return dst
+	}
+	ctr := e.split.Value(i)
+	if err := e.enc.EncryptInto(dst, pt[:], uint64(local), ctr); err != nil {
+		panic(fmt.Sprintf("secmem: encrypt: %v", err))
+	}
+	e.setMAC(i, siphash.Truncate(siphash.SumTagged(e.macKey, dst, uint64(local), ctr), e.cfg.MACBytes))
+	return dst
+}
+
+// plaintextOf decrypts the current DRAM image of sector local. The result
+// is a fresh buffer (it escapes into ReadResult.Data).
 func (e *Engine) plaintextOf(local geom.Addr) []byte {
 	local = geom.SectorAddr(local)
 	ct := e.materialize(local)
+	out := make([]byte, len(ct))
 	if e.cfg.NoSecurity {
-		out := make([]byte, len(ct))
 		copy(out, ct)
 		return out
 	}
 	i := e.sectorIdx(local)
-	pt, err := e.enc.Decrypt(ct, uint64(local), e.split.Value(i))
-	if err != nil {
+	if err := e.enc.DecryptInto(out, ct, uint64(local), e.split.Value(i)); err != nil {
 		panic(fmt.Sprintf("secmem: decrypt: %v", err))
 	}
-	return pt
+	return out
 }
 
 // storeCiphertext encrypts plaintext pt for sector local under its current
-// counter and refreshes the stored MAC.
+// counter directly into the DRAM image.
 func (e *Engine) storeCiphertext(local geom.Addr, pt []byte) []byte {
 	local = geom.SectorAddr(local)
 	i := e.sectorIdx(local)
 	ctr := e.split.Value(i)
-	ct, err := e.enc.Encrypt(pt, uint64(local), ctr)
-	if err != nil {
+	dst := e.mem.Put(i)
+	if err := e.enc.EncryptInto(dst, pt, uint64(local), ctr); err != nil {
 		panic(fmt.Sprintf("secmem: encrypt: %v", err))
 	}
-	e.mem[local] = ct
-	return ct
+	return dst
 }
 
 // currentMAC computes the MAC of sector local's current ciphertext.
@@ -487,17 +492,51 @@ func (e *Engine) currentMAC(local geom.Addr) uint64 {
 // materialized sector of the group is re-encrypted under its new counter
 // and its MAC refreshed, charging a read and a write per sector.
 // The group's plaintexts were captured by bumpCounter before the reset.
+//
+// Re-encryption is batched over maximal contiguous runs of materialized
+// sectors (one EncryptSectors call per run, into reused buffers); the
+// per-sector MAC refresh and traffic accounting that follow run in the
+// same ascending order as the old per-sector loop, so the simulation is
+// bit-identical.
 func (e *Engine) onCounterOverflow(gi uint64, sectors []uint64) {
 	pts := e.overflowPlain
-	for _, s := range sectors {
-		local := geom.Addr(s * geom.SectorSize)
-		pt, ok := pts[local]
-		if !ok {
+	for a := 0; a < len(sectors); a++ {
+		if _, ok := pts[geom.Addr(sectors[a]*geom.SectorSize)]; !ok {
 			continue // never materialized: nothing stored to re-encrypt
 		}
-		e.storeCiphertext(local, pt)
-		e.macs[s] = e.currentMAC(local)
-		delete(e.macStale, s)
+		// Extend the contiguous materialized run starting at a.
+		src, ctrs := e.runPT[:0], e.runCtrs[:0]
+		b := a
+		for b < len(sectors) {
+			pt, ok := pts[geom.Addr(sectors[b]*geom.SectorSize)]
+			if !ok {
+				break
+			}
+			src = append(src, pt...)
+			ctrs = append(ctrs, e.split.Value(sectors[b]))
+			b++
+		}
+		if cap(e.runCT) < len(src) {
+			e.runCT = make([]byte, len(src))
+		}
+		ct := e.runCT[:len(src)]
+		base := geom.Addr(sectors[a] * geom.SectorSize)
+		if err := e.enc.EncryptSectors(ct, src, uint64(base), ctrs); err != nil {
+			panic(fmt.Sprintf("secmem: overflow re-encrypt: %v", err))
+		}
+		for k, off := a, 0; k < b; k, off = k+1, off+geom.SectorSize {
+			copy(e.mem.Put(sectors[k]), ct[off:off+geom.SectorSize])
+		}
+		e.runPT, e.runCT, e.runCtrs = src[:0], ct[:0], ctrs[:0]
+		a = b - 1
+	}
+	for _, s := range sectors {
+		local := geom.Addr(s * geom.SectorSize)
+		if _, ok := pts[local]; !ok {
+			continue
+		}
+		e.setMAC(s, e.currentMAC(local))
+		e.macStale.Clear(s)
 		e.ch.Access(local, false, stats.Data, nil)
 		e.ch.Access(local, true, stats.Data, nil)
 		if e.macCache != nil {

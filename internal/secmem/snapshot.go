@@ -4,42 +4,44 @@ import (
 	"fmt"
 
 	"github.com/plutus-gpu/plutus/internal/checkpoint"
+	"github.com/plutus-gpu/plutus/internal/dense"
 	"github.com/plutus-gpu/plutus/internal/geom"
 )
 
 // Snapshot encodes the engine's complete mutable state: the functional
 // DRAM image (ciphertexts and MACs), the stale-MAC / tamper / region
-// write-tracking maps, the split and compact counter stores, both
-// Merkle trees, every metadata cache, and the value cache. All maps are
-// walked in sorted key order so identical state is identical bytes.
+// write-tracking sets, the split and compact counter stores, both
+// Merkle trees, every metadata cache, and the value cache. Dense stores
+// are walked in ascending index order (and the one remaining map in
+// sorted key order) so identical state is identical bytes.
 //
 // The engine must be quiescent — no in-flight datapath requests and no
 // fetches parked on MSHR exhaustion — because those hold closures that
 // cannot be serialized; snapshots are taken at drained epoch boundaries.
-// Scratch state (overflowPlain, hashScratch) is dead between drained
-// epochs and is deliberately not captured.
+// Scratch state (overflowPlain, hashScratch, the run buffers) is dead
+// between drained epochs and is deliberately not captured.
 func (e *Engine) Snapshot(enc *checkpoint.Encoder) error {
-	if e.pending != 0 || len(e.mshrWait) != 0 {
+	if e.pending != 0 || e.mshrWait.Len() != 0 {
 		return fmt.Errorf("secmem: %d pending requests, %d MSHR waiters: %w",
-			e.pending, len(e.mshrWait), checkpoint.ErrNotQuiescent)
+			e.pending, e.mshrWait.Len(), checkpoint.ErrNotQuiescent)
 	}
-	enc.U64(uint64(len(e.mem)))
-	for _, a := range checkpoint.SortedKeys(e.mem) {
-		enc.U64(uint64(a))
-		enc.Bytes(e.mem[a])
-	}
-	enc.U64(uint64(len(e.macs)))
-	for _, i := range checkpoint.SortedKeys(e.macs) {
+	enc.U64(uint64(e.mem.Count()))
+	e.mem.ForEach(func(i uint64, rec []byte) {
+		enc.U64(i * geom.SectorSize)
+		enc.Bytes(rec)
+	})
+	enc.U64(uint64(e.macsSet.Count()))
+	e.macsSet.ForEach(func(i uint64) {
 		enc.U64(i)
-		enc.U64(e.macs[i])
-	}
-	snapshotBoolMap(enc, e.macStale)
-	snapshotBoolMap(enc, e.taintData)
-	snapshotBoolMap(enc, e.taintMeta)
-	snapshotBoolMap(enc, e.ctrReplayed)
-	snapshotBoolMap(enc, e.cctrReplayed)
+		enc.U64(e.macs.Get(i))
+	})
+	snapshotBitmap(enc, &e.macStale)
+	snapshotBitmap(enc, &e.taintData)
+	snapshotBitmap(enc, &e.taintMeta)
+	snapshotBitmap(enc, &e.ctrReplayed)
+	snapshotBitmap(enc, &e.cctrReplayed)
 	snapshotAddrBoolMap(enc, e.bmtTampered)
-	snapshotBoolMap(enc, e.regionWritten)
+	snapshotBitmap(enc, &e.regionWritten)
 	if e.cfg.NoSecurity {
 		return nil
 	}
@@ -83,11 +85,11 @@ func (e *Engine) Snapshot(enc *checkpoint.Encoder) error {
 // stats sink, InitData hook, and the split store's OnOverflow callback —
 // is left exactly as New installed it.
 func (e *Engine) Restore(dec *checkpoint.Decoder) error {
-	if e.pending != 0 || len(e.mshrWait) != 0 {
+	if e.pending != 0 || e.mshrWait.Len() != 0 {
 		return fmt.Errorf("secmem: restore into a busy engine: %w", checkpoint.ErrNotQuiescent)
 	}
+	var mem dense.Sectors
 	nm := dec.U64()
-	mem := make(map[geom.Addr][]byte, nm)
 	for i := uint64(0); i < nm && dec.Err() == nil; i++ {
 		a := geom.Addr(dec.U64())
 		ct := dec.Bytes()
@@ -95,26 +97,31 @@ func (e *Engine) Restore(dec *checkpoint.Decoder) error {
 			return fmt.Errorf("secmem: sector %#x has %d bytes, want %d: %w",
 				uint64(a), len(ct), geom.SectorSize, checkpoint.ErrCorrupt)
 		}
-		mem[a] = ct
+		if dec.Err() == nil {
+			copy(mem.Put(uint64(a)/geom.SectorSize), ct)
+		}
 	}
+	var macs dense.U64
+	var macsSet dense.Bitmap
 	nmac := dec.U64()
-	macs := make(map[uint64]uint64, nmac)
 	for i := uint64(0); i < nmac && dec.Err() == nil; i++ {
 		k := dec.U64()
-		macs[k] = dec.U64()
+		macsSet.Set(k)
+		macs.Set(k, dec.U64())
 	}
-	macStale := restoreBoolMap(dec)
-	taintData := restoreBoolMap(dec)
-	taintMeta := restoreBoolMap(dec)
-	ctrReplayed := restoreBoolMap(dec)
-	cctrReplayed := restoreBoolMap(dec)
+	macStale := restoreBitmap(dec)
+	taintData := restoreBitmap(dec)
+	taintMeta := restoreBitmap(dec)
+	ctrReplayed := restoreBitmap(dec)
+	cctrReplayed := restoreBitmap(dec)
 	bmtTampered := restoreAddrBoolMap(dec)
-	regionWritten := restoreBoolMap(dec)
+	regionWritten := restoreBitmap(dec)
 	if err := dec.Err(); err != nil {
 		return fmt.Errorf("secmem: %w", err)
 	}
 	e.mem = mem
 	e.macs = macs
+	e.macsSet = macsSet
 	e.macStale = macStale
 	e.taintData = taintData
 	e.taintMeta = taintMeta
@@ -160,28 +167,31 @@ func (e *Engine) Restore(dec *checkpoint.Decoder) error {
 	return nil
 }
 
-// snapshotBoolMap encodes a bool-valued map with full fidelity (keys
-// holding false are preserved, so a restored engine re-encodes to the
-// very same bytes).
-func snapshotBoolMap(enc *checkpoint.Encoder, m map[uint64]bool) {
-	enc.U64(uint64(len(m)))
-	for _, k := range checkpoint.SortedKeys(m) {
+// snapshotBitmap encodes a dense index set in the same wire layout the
+// old bool-valued maps used (count, then ascending key/true pairs), so a
+// restored engine re-encodes to the very same bytes.
+func snapshotBitmap(enc *checkpoint.Encoder, b *dense.Bitmap) {
+	enc.U64(uint64(b.Count()))
+	b.ForEach(func(k uint64) {
 		enc.U64(k)
-		enc.Bool(m[k])
-	}
+		enc.Bool(true)
+	})
 }
 
-func restoreBoolMap(dec *checkpoint.Decoder) map[uint64]bool {
+func restoreBitmap(dec *checkpoint.Decoder) dense.Bitmap {
+	var b dense.Bitmap
 	n := dec.U64()
-	m := make(map[uint64]bool, n)
 	for i := uint64(0); i < n && dec.Err() == nil; i++ {
 		k := dec.U64()
-		m[k] = dec.Bool()
+		if dec.Bool() {
+			b.Set(k)
+		}
 	}
-	return m
+	return b
 }
 
-// snapshotAddrBoolMap is snapshotBoolMap for address-keyed taint state.
+// snapshotAddrBoolMap encodes an address-keyed taint map with full
+// fidelity in sorted key order.
 func snapshotAddrBoolMap(enc *checkpoint.Encoder, m map[geom.Addr]bool) {
 	enc.U64(uint64(len(m)))
 	for _, k := range checkpoint.SortedKeys(m) {

@@ -12,36 +12,68 @@
 // bit-identical to single-threaded ones.
 package sim
 
-import "container/heap"
+import "math/bits"
 
 // Cycle is a point in simulated time, in core clock cycles.
 type Cycle uint64
 
+// The queue is a calendar (bucket) queue: a ring of per-cycle buckets
+// covering the window [now, now+ringSize) absorbs the overwhelming
+// majority of events (cache latencies, DRAM service times, crossbar hops
+// are all far below ringSize), giving O(1) schedule and dispatch with no
+// per-event allocation — the previous container/heap implementation boxed
+// every event through an interface and was comparison-bound. Events
+// beyond the window (deep DRAM bus backlog) go to a small inline overflow
+// heap and migrate into the ring as time advances.
+//
+// Ordering invariant: dispatch is strictly (cycle, seq) — seq is the
+// global monotone schedule order, so same-cycle events run FIFO. The
+// overflow heap pops in (at, seq) order, and every heap event for a cycle
+// X was scheduled while now ≤ X−ringSize, whereas every ring append for X
+// requires now > X−ringSize; since now is monotone, all migrated heap
+// events for X carry smaller seq than any direct ring append for X, and
+// migration happens exactly when now first advances past X−ringSize —
+// before any event at the new now executes. Appending migrated events
+// ahead of future ring appends therefore preserves global (cycle, seq)
+// order. The scheduler_test.go property test cross-checks this dispatch
+// order against a reference heap over randomized event streams.
+const (
+	ringBits  = 12
+	ringSize  = Cycle(1) << ringBits // bucketed scheduling window, in cycles
+	ringMask  = ringSize - 1
+	busyWords = int(ringSize) / 64
+)
+
+// event is one queued closure; its cycle is implied by its bucket.
 type event struct {
+	seq uint64
+	fn  func()
+}
+
+// farEvent is an overflow-heap entry (cycle kept explicitly).
+type farEvent struct {
 	at  Cycle
 	seq uint64
 	fn  func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// bucket holds one cycle's events in schedule order. head indexes the
+// next unconsumed event; the backing slice is reused across cycles once
+// fully drained, so steady-state scheduling never allocates.
+type bucket struct {
+	evs  []event
+	head int
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
 // Engine is the event queue. The zero value is ready to use.
 type Engine struct {
-	now    Cycle
-	last   Cycle
-	seq    uint64
-	events eventHeap
+	now   Cycle
+	last  Cycle
+	seq   uint64
+	count int
+	busy  [busyWords]uint64 // occupancy bitmap over ring slots
+	ring  [ringSize]bucket
+	far   []farEvent // min-heap on (at, seq) for events ≥ now+ringSize
 }
 
 // Now returns the current simulated cycle.
@@ -56,7 +88,12 @@ func (e *Engine) LastEventAt() Cycle { return e.last }
 // the current cycle, after already-queued same-cycle events.
 func (e *Engine) Schedule(delay Cycle, fn func()) {
 	e.seq++
-	heap.Push(&e.events, event{at: e.now + delay, seq: e.seq, fn: fn})
+	if delay < ringSize {
+		e.pushRing(e.now+delay, event{seq: e.seq, fn: fn})
+	} else {
+		e.pushFar(farEvent{at: e.now + delay, seq: e.seq, fn: fn})
+	}
+	e.count++
 }
 
 // ScheduleAt runs fn at absolute cycle at, which must not lie in the
@@ -70,28 +107,141 @@ func (e *Engine) ScheduleAt(at Cycle, fn func()) {
 	e.Schedule(at-e.now, fn)
 }
 
+func (e *Engine) pushRing(at Cycle, ev event) {
+	s := at & ringMask
+	b := &e.ring[s]
+	if len(b.evs) == 0 {
+		e.busy[s>>6] |= 1 << (s & 63)
+	}
+	b.evs = append(b.evs, ev)
+}
+
+func (e *Engine) pushFar(fe farEvent) {
+	e.far = append(e.far, fe)
+	i := len(e.far) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !farLess(&e.far[i], &e.far[p]) {
+			break
+		}
+		e.far[i], e.far[p] = e.far[p], e.far[i]
+		i = p
+	}
+}
+
+func farLess(a, b *farEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// popFar removes and returns the earliest overflow event.
+func (e *Engine) popFar() farEvent {
+	fe := e.far[0]
+	n := len(e.far) - 1
+	e.far[0] = e.far[n]
+	e.far[n].fn = nil // release the closure for GC
+	e.far = e.far[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && farLess(&e.far[l], &e.far[min]) {
+			min = l
+		}
+		if r < n && farLess(&e.far[r], &e.far[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		e.far[i], e.far[min] = e.far[min], e.far[i]
+		i = min
+	}
+	return fe
+}
+
+// migrateFar moves overflow events that now fall inside the ring window
+// into their buckets. It must run whenever now advances, before any event
+// at the new time executes (see the ordering invariant above).
+func (e *Engine) migrateFar() {
+	horizon := e.now + ringSize
+	for len(e.far) > 0 && e.far[0].at < horizon {
+		fe := e.popFar()
+		e.pushRing(fe.at, event{seq: fe.seq, fn: fe.fn})
+	}
+}
+
+// nextBusy returns the ring slot of the earliest nonempty bucket at or
+// after cycle from, scanning the occupancy bitmap with wraparound.
+func (e *Engine) nextBusy(from Cycle) (Cycle, bool) {
+	s0 := from & ringMask
+	w0 := int(s0 >> 6)
+	if word := e.busy[w0] &^ (1<<(s0&63) - 1); word != 0 {
+		return Cycle(w0<<6 + bits.TrailingZeros64(word)), true
+	}
+	for k := 1; k <= busyWords; k++ {
+		w := (w0 + k) & (busyWords - 1)
+		if e.busy[w] != 0 {
+			return Cycle(w<<6 + bits.TrailingZeros64(e.busy[w])), true
+		}
+	}
+	return 0, false
+}
+
+// nextEventAt returns the cycle of the earliest queued event. The queue
+// must be nonempty. Ring events always precede overflow events: the
+// migration invariant keeps far[0].at ≥ now+ringSize while every ring
+// event lies below now+ringSize.
+func (e *Engine) nextEventAt() Cycle {
+	if slot, ok := e.nextBusy(e.now); ok {
+		return e.now + ((slot - (e.now & ringMask)) & ringMask)
+	}
+	return e.far[0].at
+}
+
 // Pending returns the number of queued events.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.count }
 
 // NextAt returns the cycle of the earliest queued event; ok is false if
 // the queue is empty.
 func (e *Engine) NextAt() (at Cycle, ok bool) {
-	if len(e.events) == 0 {
+	if e.count == 0 {
 		return 0, false
 	}
-	return e.events[0].at, true
+	return e.nextEventAt(), true
+}
+
+// stepAt advances time to at, executes the earliest event (which must be
+// at cycle at), and returns.
+func (e *Engine) stepAt(at Cycle) {
+	if at != e.now {
+		e.now = at
+		e.migrateFar()
+	}
+	s := at & ringMask
+	b := &e.ring[s]
+	ev := b.evs[b.head]
+	b.evs[b.head].fn = nil // release the closure for GC
+	b.head++
+	if b.head == len(b.evs) {
+		b.evs = b.evs[:0]
+		b.head = 0
+		e.busy[s>>6] &^= 1 << (s & 63)
+	}
+	e.count--
+	e.last = at
+	ev.fn()
 }
 
 // Step executes the earliest event, advancing time to it. It reports
 // whether an event was executed.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	if e.count == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
-	e.now = ev.at
-	e.last = ev.at
-	ev.fn()
+	e.stepAt(e.nextEventAt())
 	return true
 }
 
@@ -99,11 +249,15 @@ func (e *Engine) Step() bool {
 // would be at or beyond limit. It returns the number of events executed.
 func (e *Engine) RunUntil(limit Cycle) uint64 {
 	var n uint64
-	for len(e.events) > 0 && e.events[0].at < limit {
-		e.Step()
+	for e.count > 0 {
+		at := e.nextEventAt()
+		if at >= limit {
+			break
+		}
+		e.stepAt(at)
 		n++
 	}
-	if e.now < limit && len(e.events) == 0 {
+	if e.now < limit && e.count == 0 {
 		// Time still advances to the horizon even if nothing is queued.
 		e.now = limit
 	}
@@ -128,7 +282,7 @@ func (e *Engine) Drain(maxEvents uint64) bool {
 	for e.Step() {
 		n++
 		if maxEvents != 0 && n >= maxEvents {
-			return len(e.events) == 0
+			return e.count == 0
 		}
 	}
 	return true
@@ -146,7 +300,7 @@ func (e *Engine) Clock() (now, last Cycle) { return e.now, e.last }
 // empty queue only the relative order of future events matters, and
 // that is preserved starting from any counter value.
 func (e *Engine) RestoreClock(now, last Cycle) {
-	if len(e.events) != 0 {
+	if e.count != 0 {
 		panic("sim: RestoreClock with queued events")
 	}
 	e.now = now

@@ -1,0 +1,41 @@
+package sim
+
+// FuncQueue is an amortized-O(1) FIFO of closures. The MSHR-stall paths
+// park blocked requests here; the previous implementation re-sliced and
+// copied the whole queue on every release, which profiling showed as the
+// simulator's dominant allocation site (quadratic in queue depth). Pops
+// advance a head index and the backing array is reused once drained, so
+// steady-state park/release cycles allocate nothing.
+type FuncQueue struct {
+	fns  []func()
+	head int
+}
+
+// Len returns the number of queued closures.
+func (q *FuncQueue) Len() int { return len(q.fns) - q.head }
+
+// Push appends fn to the queue.
+func (q *FuncQueue) Push(fn func()) {
+	if q.head == len(q.fns) && q.head != 0 {
+		// Fully drained: rewind so the backing array is reused.
+		q.fns = q.fns[:0]
+		q.head = 0
+	}
+	q.fns = append(q.fns, fn)
+}
+
+// Pop removes and returns the oldest closure, or nil if the queue is
+// empty.
+func (q *FuncQueue) Pop() func() {
+	if q.head == len(q.fns) {
+		return nil
+	}
+	fn := q.fns[q.head]
+	q.fns[q.head] = nil // release for GC
+	q.head++
+	if q.head == len(q.fns) {
+		q.fns = q.fns[:0]
+		q.head = 0
+	}
+	return fn
+}

@@ -14,8 +14,8 @@ import (
 // identically — future evictions then pick the same victims.
 func (c *Cache) Snapshot(enc *checkpoint.Encoder) error {
 	var pinnedKeys []uint32
-	for k, e := range c.entries {
-		if e.pinned {
+	for k, i := range c.index {
+		if c.slots[i].pinned {
 			pinnedKeys = append(pinnedKeys, k)
 		}
 	}
@@ -24,12 +24,12 @@ func (c *Cache) Snapshot(enc *checkpoint.Encoder) error {
 	enc.U32(uint32(len(pinnedKeys)))
 	for _, k := range pinnedKeys {
 		enc.U32(k)
-		enc.U8(c.entries[k].use)
+		enc.U8(c.slots[c.index[k]].use)
 	}
 	enc.U32(uint32(c.transient))
-	for e := c.lruTail; e != nil; e = e.prev {
-		enc.U32(e.key)
-		enc.U8(e.use)
+	for i := c.lruTail; i != nilSlot; i = c.slots[i].prev {
+		enc.U32(c.slots[i].key)
+		enc.U8(c.slots[i].use)
 	}
 	enc.U64(c.Probes)
 	enc.U64(c.Hits)
@@ -51,23 +51,21 @@ func (c *Cache) Restore(dec *checkpoint.Decoder) error {
 		return fmt.Errorf("valcache: snapshot has %d pinned entries, capacity %d: %w",
 			nPinned, c.pinCap, checkpoint.ErrMismatch)
 	}
-	entries := make(map[uint32]*entry, c.cfg.Entries)
-	c.lruHead, c.lruTail = nil, nil
+	c.index = make(map[uint32]int32, c.cfg.Entries)
+	c.resetSlots()
+	c.lruHead, c.lruTail = nilSlot, nilSlot
 	for i := uint32(0); i < nPinned && dec.Err() == nil; i++ {
 		k := dec.U32()
-		entries[k] = &entry{key: k, use: dec.U8(), pinned: true}
+		c.alloc(k, dec.U8(), true)
 	}
 	nTrans := dec.U32()
-	c.entries = entries
 	c.pinned = int(nPinned)
 	c.transient = int(nTrans)
 	// Written least-recent first; each push-front leaves earlier (older)
 	// entries deeper in the list, ending with the most recent at the head.
 	for i := uint32(0); i < nTrans && dec.Err() == nil; i++ {
 		k := dec.U32()
-		e := &entry{key: k, use: dec.U8()}
-		entries[k] = e
-		c.listPushFront(e)
+		c.listPushFront(c.alloc(k, dec.U8(), false))
 	}
 	c.Probes = dec.U64()
 	c.Hits = dec.U64()

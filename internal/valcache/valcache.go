@@ -77,21 +77,30 @@ const (
 	useMax = 15
 )
 
+// nilSlot terminates the intrusive transient LRU list.
+const nilSlot = int32(-1)
+
 type entry struct {
 	key        uint32
 	use        uint8
 	pinned     bool
-	prev, next *entry // transient LRU list links (unused once pinned)
+	prev, next int32 // transient LRU list links (unused once pinned)
 }
 
-// Cache is one partition's value cache.
+// Cache is one partition's value cache. Entries live in a flat slot
+// array sized at capacity, linked by slot index, with a pointer-free
+// key→slot map on top: the steady state (probe, evict, insert) touches
+// no heap allocation at all, which matters because every 32-bit value of
+// every verified or observed sector passes through here.
 type Cache struct {
 	cfg       Config
-	entries   map[uint32]*entry
+	slots     []entry
+	free      []int32 // free slot stack
+	index     map[uint32]int32
 	pinned    int
 	pinCap    int
-	lruHead   *entry // most recent
-	lruTail   *entry // least recent
+	lruHead   int32 // most recent
+	lruTail   int32 // least recent
 	transient int
 
 	// Statistics for the Fig. 9 / Fig. 21 studies.
@@ -103,11 +112,34 @@ func New(cfg Config) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Cache{
+	c := &Cache{
 		cfg:     cfg,
-		entries: make(map[uint32]*entry, cfg.Entries),
+		index:   make(map[uint32]int32, cfg.Entries),
 		pinCap:  int(float64(cfg.Entries) * cfg.PinnedFrac),
-	}, nil
+		lruHead: nilSlot,
+		lruTail: nilSlot,
+	}
+	c.resetSlots()
+	return c, nil
+}
+
+// resetSlots (re)builds the empty slot array and free stack, pushed in
+// reverse so slot 0 is handed out first.
+func (c *Cache) resetSlots() {
+	c.slots = make([]entry, c.cfg.Entries)
+	c.free = c.free[:0]
+	for i := c.cfg.Entries - 1; i >= 0; i-- {
+		c.free = append(c.free, int32(i))
+	}
+}
+
+// alloc takes a free slot for key k with use count u.
+func (c *Cache) alloc(k uint32, u uint8, pinned bool) int32 {
+	i := c.free[len(c.free)-1]
+	c.free = c.free[:len(c.free)-1]
+	c.slots[i] = entry{key: k, use: u, pinned: pinned, prev: nilSlot, next: nilSlot}
+	c.index[k] = i
+	return i
 }
 
 // MustNew is New for static configuration.
@@ -123,7 +155,7 @@ func MustNew(cfg Config) *Cache {
 func (c *Cache) Config() Config { return c.cfg }
 
 // Len returns the number of cached values.
-func (c *Cache) Len() int { return len(c.entries) }
+func (c *Cache) Len() int { return len(c.index) }
 
 // PinnedLen returns the number of pinned values.
 func (c *Cache) PinnedLen() int { return c.pinned }
@@ -133,33 +165,36 @@ func (c *Cache) Key(v uint32) uint32 { return v >> uint(c.cfg.MaskBits) }
 
 // --- transient LRU list management ---
 
-func (c *Cache) listRemove(e *entry) {
-	if e.prev != nil {
-		e.prev.next = e.next
+func (c *Cache) listRemove(i int32) {
+	e := &c.slots[i]
+	if e.prev != nilSlot {
+		c.slots[e.prev].next = e.next
 	} else {
 		c.lruHead = e.next
 	}
-	if e.next != nil {
-		e.next.prev = e.prev
+	if e.next != nilSlot {
+		c.slots[e.next].prev = e.prev
 	} else {
 		c.lruTail = e.prev
 	}
-	e.prev, e.next = nil, nil
+	e.prev, e.next = nilSlot, nilSlot
 }
 
-func (c *Cache) listPushFront(e *entry) {
-	e.prev, e.next = nil, c.lruHead
-	if c.lruHead != nil {
-		c.lruHead.prev = e
+func (c *Cache) listPushFront(i int32) {
+	e := &c.slots[i]
+	e.prev, e.next = nilSlot, c.lruHead
+	if c.lruHead != nilSlot {
+		c.slots[c.lruHead].prev = i
 	}
-	c.lruHead = e
-	if c.lruTail == nil {
-		c.lruTail = e
+	c.lruHead = i
+	if c.lruTail == nilSlot {
+		c.lruTail = i
 	}
 }
 
-// touch registers a use of e: LRU bump, counter bump, maybe promotion.
-func (c *Cache) touch(e *entry) {
+// touch registers a use of slot i: LRU bump, counter bump, maybe promotion.
+func (c *Cache) touch(i int32) {
+	e := &c.slots[i]
 	if e.use < useMax {
 		e.use++
 	}
@@ -170,33 +205,33 @@ func (c *Cache) touch(e *entry) {
 		e.pinned = true
 		c.pinned++
 		c.transient--
-		c.listRemove(e)
+		c.listRemove(i)
 		c.Promotions++
 		return
 	}
-	c.listRemove(e)
-	c.listPushFront(e)
+	c.listRemove(i)
+	c.listPushFront(i)
 }
 
 // Probe looks a value up, counting the use on hit. It reports the hit and
 // whether the hit entry is pinned.
 func (c *Cache) Probe(v uint32) (hit, pinned bool) {
 	c.Probes++
-	e, ok := c.entries[c.Key(v)]
+	i, ok := c.index[c.Key(v)]
 	if !ok {
 		return false, false
 	}
-	c.Hits++
-	if e.pinned {
+	if c.slots[i].pinned {
 		c.PinnedHits++
 	}
-	c.touch(e)
-	return true, e.pinned
+	c.Hits++
+	c.touch(i)
+	return true, c.slots[i].pinned
 }
 
 // Contains reports presence without any side effects (for tests/analysis).
 func (c *Cache) Contains(v uint32) bool {
-	_, ok := c.entries[c.Key(v)]
+	_, ok := c.index[c.Key(v)]
 	return ok
 }
 
@@ -205,27 +240,26 @@ func (c *Cache) Contains(v uint32) bool {
 // the LRU transient entry when full.
 func (c *Cache) Insert(v uint32) {
 	k := c.Key(v)
-	if e, ok := c.entries[k]; ok {
-		c.touch(e)
+	if i, ok := c.index[k]; ok {
+		c.touch(i)
 		return
 	}
 	c.Inserts++
 	transCap := c.cfg.Entries - c.pinned
 	if c.transient >= transCap {
 		victim := c.lruTail
-		if victim == nil {
+		if victim == nilSlot {
 			// Pinned region consumed everything (PinnedFrac near 1);
 			// drop the insert rather than evict a pinned value.
 			return
 		}
 		c.listRemove(victim)
-		delete(c.entries, victim.key)
+		delete(c.index, c.slots[victim].key)
+		c.free = append(c.free, victim)
 		c.transient--
 		c.Evictions++
 	}
-	e := &entry{key: k, use: 1}
-	c.entries[k] = e
-	c.listPushFront(e)
+	c.listPushFront(c.alloc(k, 1, false))
 	c.transient++
 }
 
@@ -301,7 +335,7 @@ func (c *Cache) WriteGuaranteed(data []byte) bool {
 		pinnedHits := 0
 		for k := 0; k < ValuesPerUnit; k++ {
 			v := binary.LittleEndian.Uint32(data[off+k*4:])
-			if e, ok := c.entries[c.Key(v)]; ok && e.pinned {
+			if i, ok := c.index[c.Key(v)]; ok && c.slots[i].pinned {
 				pinnedHits++
 			}
 		}
