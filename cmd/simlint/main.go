@@ -1,26 +1,39 @@
-// Command simlint statically enforces the simulator's determinism
-// invariants. It bundles four analyzers:
+// Command simlint statically enforces the simulator's determinism and
+// performance invariants. It bundles seven analyzers:
 //
-//	detrand  — no wall-clock reads or unseeded randomness in
-//	           sim-critical packages (simulated time is sim.Cycle)
-//	maporder — no order-sensitive work inside `range` over a map
-//	           (collect keys, sort, then iterate)
-//	rawconc  — no raw goroutines or channel operations outside
-//	           internal/sim; concurrency goes through the engine
-//	statskey — stats table and CSV column keys must be compile-time
-//	           constants so output schemas never drift at runtime
+//	detrand   — no wall-clock reads or unseeded randomness in
+//	            sim-critical packages (simulated time is sim.Cycle)
+//	hotalloc  — functions annotated //simlint:hotpath must be
+//	            allocation-free per the compiler's escape analysis
+//	maporder  — no order-sensitive work inside `range` over a map
+//	            (collect keys, sort, then iterate)
+//	rawconc   — no raw goroutines or channel operations outside the
+//	            allowlist; concurrency goes through the engine
+//	snapsym   — Snapshot/Restore method pairs must write and read the
+//	            same receiver fields in the same order
+//	statskey  — stats table and CSV column keys must be compile-time
+//	            constants so output schemas never drift at runtime
+//	stickyerr — codec functions must not drop, shadow, overwrite, or
+//	            ignore error values; codec errors are sticky
 //
 // Findings are suppressed line-by-line with
 //
 //	//simlint:ignore <analyzer> <reason>
 //
 // where the reason is mandatory; a trailing directive covers its own
-// line and an own-line directive covers the next line.
+// line and an own-line directive covers the next line. When the full
+// suite runs, a directive that suppresses nothing is itself an error
+// (analyzer "unusedignore").
 //
 // Usage:
 //
-//	simlint [packages]         # standalone; defaults to ./...
+//	simlint [-json|-sarif] [packages]    # standalone; defaults to ./...
 //	go vet -vettool=$(which simlint) ./...
+//
+// -json emits one object per finding; -sarif emits a SARIF 2.1.0 log
+// for CI code-scanning upload. Both carry a stable ID per finding
+// (hash of analyzer, root-relative path, and message) so annotations
+// keep their identity across unrelated edits.
 //
 // Exit status: 0 clean, 1 tool error, 2 findings reported.
 package main
@@ -62,7 +75,26 @@ func main() {
 		return
 	}
 
-	patterns := args
+	var jsonOut, sarifOut bool
+	var patterns []string
+	for _, a := range args {
+		switch a {
+		case "-json", "--json":
+			jsonOut = true
+		case "-sarif", "--sarif":
+			sarifOut = true
+		default:
+			if strings.HasPrefix(a, "-") {
+				fmt.Fprintf(os.Stderr, "simlint: unknown flag %s\n", a)
+				os.Exit(1)
+			}
+			patterns = append(patterns, a)
+		}
+	}
+	if jsonOut && sarifOut {
+		fmt.Fprintln(os.Stderr, "simlint: -json and -sarif are mutually exclusive")
+		os.Exit(1)
+	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -76,12 +108,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	for _, d := range diags {
-		if len(pkgs) > 0 {
-			fmt.Printf("%s: %s (%s)\n", pkgs[0].Fset.Position(d.Pos), d.Message, d.Analyzer)
-		}
+	var fs []finding
+	if len(pkgs) > 0 {
+		fs = render(pkgs[0].Fset, diags)
+	} else {
+		fs = []finding{}
 	}
-	if len(diags) > 0 {
+	switch {
+	case jsonOut:
+		err = emitJSON(fs)
+	case sarifOut:
+		err = emitSARIF(fs)
+	default:
+		emitText(fs)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(fs) > 0 {
 		os.Exit(2)
 	}
 }
@@ -90,18 +135,25 @@ func usage() {
 	fmt.Print(`simlint enforces the simulator's determinism invariants.
 
 Usage:
-  simlint [packages]                        standalone; defaults to ./...
+  simlint [-json|-sarif] [packages]         standalone; defaults to ./...
   go vet -vettool=/path/to/simlint ./...    as a vet tool
+
+Flags (standalone mode only):
+  -json    emit findings as JSON with stable per-finding IDs
+  -sarif   emit a SARIF 2.1.0 log for CI code-scanning upload
 
 Analyzers:
 `)
 	for _, a := range simlint.Analyzers() {
-		fmt.Printf("  %-8s  %s\n", a.Name, a.Doc)
+		fmt.Printf("  %-9s  %s\n", a.Name, a.Doc)
 	}
 	fmt.Print(`
 Suppress a finding with a mandatory reason:
   //simlint:ignore <analyzer> <reason>      trailing: covers its line
                                             own line: covers the next line
+In full-suite runs a directive that suppresses nothing is itself an
+error (unusedignore): remove directives when the code they excused is
+fixed.
 `)
 }
 

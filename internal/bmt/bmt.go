@@ -69,20 +69,24 @@ type NodeRef struct {
 
 // Tree is one partition's Bonsai Merkle Tree.
 type Tree struct {
-	cfg   Config
+	cfg Config
+	//simlint:ignore snapsym derived from cfg at construction
 	arity uint64
 	// counts[l] is the node count at level l; counts[len-1] == 1 (root).
 	counts []uint64
 	// bases[l] is the byte offset of level l's nodes in the BMT region.
 	// Levels are laid out bottom-up.
+	//simlint:ignore snapsym pure geometry derived from cfg at construction
 	bases []geom.Addr
 	// unitHashes holds the authoritative hash of each counter unit;
 	// missing entries equal defaultUnit (hash of an untouched unit).
 	unitHashes map[uint64]uint64
 	// nodeHashes[l] holds the hash of each node at level l, as recorded
 	// in its parent; missing entries equal defaultNode[l].
-	nodeHashes  []map[uint64]uint64
+	nodeHashes []map[uint64]uint64
+	//simlint:ignore snapsym constant for a given key/serialization, recomputed at construction
 	defaultUnit uint64
+	//simlint:ignore snapsym constant for a given key/serialization, recomputed at construction
 	defaultNode []uint64
 	root        uint64
 }

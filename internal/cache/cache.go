@@ -75,12 +75,15 @@ func (m *MSHR) AddWaiter(fn func()) { m.waiters = append(m.waiters, fn) }
 
 // Cache is one cache instance. Create with New.
 type Cache struct {
-	cfg       Config
-	sets      [][]line
-	setMask   geom.Addr
-	sectors   int // sectors per block
-	lruClock  uint64
-	mshrs     map[geom.Addr]*MSHR
+	cfg  Config
+	sets [][]line
+	//simlint:ignore snapsym derived from cfg.Sets at construction
+	setMask geom.Addr
+	//simlint:ignore snapsym derived from cfg.BlockBytes at construction
+	sectors  int // sectors per block
+	lruClock uint64
+	mshrs    map[geom.Addr]*MSHR
+	//simlint:ignore snapsym derived from cfg.MSHRs at construction
 	mshrLimit int
 	Stats     stats.CacheStats
 }

@@ -109,8 +109,10 @@ func (o Outcome) String() string {
 // paper's invariant ("when a compact counter is used, its major counter
 // is 0"). Sticky per-block disable bits implement the adaptive design.
 type CompactView struct {
-	kind      CompactKind
-	store     *SplitStore
+	kind CompactKind
+	//simlint:ignore snapsym construction wiring: the split store snapshots itself separately
+	store *SplitStore
+	//simlint:ignore snapsym derived from the kind at construction
 	threshold int
 
 	// disabled is the enable-bit layer: a set bit means the compact block
@@ -157,17 +159,23 @@ func (v *CompactView) saturation() uint32 { return 1<<uint(v.kind.Width()) - 1 }
 func (v *CompactView) Saturation() uint32 { return v.saturation() }
 
 // SectorOf returns the compact-sector index covering data sector i.
+//
+//simlint:hotpath
 func (v *CompactView) SectorOf(i uint64) uint64 {
 	return i / uint64(v.kind.CountersPerSector())
 }
 
 // BlockOf returns the compact-block index (4 compact sectors = 128 B)
 // covering data sector i — the granularity of the enable-bit layer.
+//
+//simlint:hotpath
 func (v *CompactView) BlockOf(i uint64) uint64 {
 	return i / uint64(4*v.kind.CountersPerSector())
 }
 
 // Value returns the compact counter of sector i (saturation-clamped).
+//
+//simlint:hotpath
 func (v *CompactView) Value(i uint64) uint32 {
 	sat := v.saturation()
 	if v.store.Major(v.store.GroupOf(i)) > 0 {
@@ -182,12 +190,16 @@ func (v *CompactView) Value(i uint64) uint32 {
 }
 
 // Disabled reports the enable-bit state of sector i's compact block.
+//
+//simlint:hotpath
 func (v *CompactView) Disabled(i uint64) bool {
 	return v.kind == Compact3BitAdaptive && v.disabled.Get(v.BlockOf(i))
 }
 
 // SaturatedCount returns how many covered sectors of i's compact block
 // have saturated counters (adaptive bookkeeping).
+//
+//simlint:hotpath
 func (v *CompactView) SaturatedCount(i uint64) int {
 	return int(v.satCount.Get(v.BlockOf(i)))
 }
@@ -198,6 +210,8 @@ func (v *CompactView) SaturatedCount(i uint64) int {
 // to the original counters (the paper's per-sector one-bit flag), since
 // the whole group "needs to use the split counters instead of compact
 // ones" after a minor overflow.
+//
+//simlint:hotpath
 func (v *CompactView) Classify(i uint64) Outcome {
 	if v.Disabled(i) || v.store.Major(v.store.GroupOf(i)) > 0 {
 		return ServedDisabled

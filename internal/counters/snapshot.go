@@ -53,9 +53,11 @@ func (s *SplitStore) Restore(dec *checkpoint.Decoder) error {
 	if err := dec.Err(); err != nil {
 		return fmt.Errorf("counters: split store: %w", err)
 	}
+	// Install in the encoder's field order (present, majors, minors) so
+	// the walk stays symmetric with Snapshot.
+	s.present = present
 	s.majors = majors
 	s.minors = minors
-	s.present = present
 	return nil
 }
 
@@ -121,9 +123,11 @@ func (v *CompactView) Restore(dec *checkpoint.Decoder) error {
 	if err := dec.Err(); err != nil {
 		return fmt.Errorf("counters: compact view: %w", err)
 	}
+	// Install in the encoder's field order (disabled, satBlocks,
+	// satSector, satCount) so the walk stays symmetric with Snapshot.
 	v.disabled = disabled
+	v.satBlocks = satBlocks
 	v.satSector = satSector
 	v.satCount = satCount
-	v.satBlocks = satBlocks
 	return nil
 }

@@ -55,7 +55,8 @@ func (c SplitConfig) Validate() error {
 // counter reads sit on every encrypt/decrypt and every unit hash, and the
 // previous map-of-groups layout made each one a hash probe.
 type SplitStore struct {
-	cfg      SplitConfig
+	cfg SplitConfig
+	//simlint:ignore snapsym derived from cfg.MinorBits at construction
 	minorMax uint32
 	majors   dense.U64    // by group index
 	minors   dense.U32    // by data-sector index
@@ -65,8 +66,10 @@ type SplitStore struct {
 	// group's major counter. sectors lists every data-sector index in the
 	// group; the secure-memory engine re-encrypts them (the standard
 	// split-counter overflow cost).
+	//simlint:ignore snapsym runtime wiring (a function), reattached by the engine on resume
 	OnOverflow func(groupIdx uint64, sectors []uint64)
 
+	//simlint:ignore snapsym per-call scratch, dead between calls
 	overflowScratch []uint64 // reused OnOverflow argument buffer
 }
 
@@ -94,25 +97,35 @@ func MustSplitStore(cfg SplitConfig) *SplitStore {
 func (s *SplitStore) Config() SplitConfig { return s.cfg }
 
 // GroupOf returns the group (counter-sector) index covering data sector i.
+//
+//simlint:hotpath
 func (s *SplitStore) GroupOf(i uint64) uint64 { return i / uint64(s.cfg.GroupSize) }
 
 // GroupSectors returns the data-sector index range [lo, hi) sharing group
 // gi's major counter — the blast radius of rolling back that counter
 // sector (tamper tests pick sibling sectors from it).
+//
+//simlint:hotpath
 func (s *SplitStore) GroupSectors(gi uint64) (lo, hi uint64) {
 	lo = gi * uint64(s.cfg.GroupSize)
 	return lo, lo + uint64(s.cfg.GroupSize)
 }
 
 // Value returns the effective encryption counter of data sector i.
+//
+//simlint:hotpath
 func (s *SplitStore) Value(i uint64) uint64 {
 	return s.majors.Get(s.GroupOf(i))<<uint(s.cfg.MinorBits) | uint64(s.minors.Get(i))
 }
 
 // Major returns group gi's major counter.
+//
+//simlint:hotpath
 func (s *SplitStore) Major(gi uint64) uint64 { return s.majors.Get(gi) }
 
 // Minor returns data sector i's minor counter.
+//
+//simlint:hotpath
 func (s *SplitStore) Minor(i uint64) uint32 { return s.minors.Get(i) }
 
 // Increment bumps sector i's counter for a writeback and returns the new
@@ -146,6 +159,8 @@ func (s *SplitStore) Increment(i uint64) (value uint64, overflowed bool) {
 }
 
 // Touched reports whether sector i's counter has ever been incremented.
+//
+//simlint:hotpath
 func (s *SplitStore) Touched(i uint64) bool { return s.Value(i) != 0 }
 
 // Groups returns the number of materialized counter groups (for tests).

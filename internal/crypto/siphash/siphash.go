@@ -44,31 +44,28 @@ func round(v0, v1, v2, v3 uint64) (uint64, uint64, uint64, uint64) {
 	return v0, v1, v2, v3
 }
 
-// Sum64 computes the SipHash-2-4 tag of msg under key k.
-func Sum64(k Key, msg []byte) uint64 {
-	v0 := k.K0 ^ 0x736f6d6570736575
-	v1 := k.K1 ^ 0x646f72616e646f6d
-	v2 := k.K0 ^ 0x6c7967656e657261
-	v3 := k.K1 ^ 0x7465646279746573
+// initState derives the initial SipHash state from the key.
+func initState(k Key) (uint64, uint64, uint64, uint64) {
+	return k.K0 ^ 0x736f6d6570736575,
+		k.K1 ^ 0x646f72616e646f6d,
+		k.K0 ^ 0x6c7967656e657261,
+		k.K1 ^ 0x7465646279746573
+}
 
-	n := len(msg)
-	for ; len(msg) >= 8; msg = msg[8:] {
-		m := binary.LittleEndian.Uint64(msg)
-		v3 ^= m
-		v0, v1, v2, v3 = round(v0, v1, v2, v3)
-		v0, v1, v2, v3 = round(v0, v1, v2, v3)
-		v0 ^= m
-	}
-
-	var last uint64 = uint64(n) << 56
-	for i, b := range msg {
-		last |= uint64(b) << (8 * uint(i))
-	}
-	v3 ^= last
+// compress absorbs one 8-byte message word (two SipRounds).
+func compress(v0, v1, v2, v3, m uint64) (uint64, uint64, uint64, uint64) {
+	v3 ^= m
 	v0, v1, v2, v3 = round(v0, v1, v2, v3)
 	v0, v1, v2, v3 = round(v0, v1, v2, v3)
-	v0 ^= last
+	v0 ^= m
+	return v0, v1, v2, v3
+}
 
+// finalize absorbs the length-tagged last word and runs the four
+// finalization rounds. last must hold the trailing 0..7 message bytes in
+// its low bits with the total message length (mod 256) in the top byte.
+func finalize(v0, v1, v2, v3, last uint64) uint64 {
+	v0, v1, v2, v3 = compress(v0, v1, v2, v3, last)
 	v2 ^= 0xff
 	for i := 0; i < 4; i++ {
 		v0, v1, v2, v3 = round(v0, v1, v2, v3)
@@ -76,22 +73,66 @@ func Sum64(k Key, msg []byte) uint64 {
 	return v0 ^ v1 ^ v2 ^ v3
 }
 
+// Sum64 computes the SipHash-2-4 tag of msg under key k.
+//
+//simlint:hotpath
+func Sum64(k Key, msg []byte) uint64 {
+	v0, v1, v2, v3 := initState(k)
+
+	n := len(msg)
+	for ; len(msg) >= 8; msg = msg[8:] {
+		v0, v1, v2, v3 = compress(v0, v1, v2, v3, binary.LittleEndian.Uint64(msg))
+	}
+
+	last := uint64(n) << 56
+	for i, b := range msg {
+		last |= uint64(b) << (8 * uint(i))
+	}
+	return finalize(v0, v1, v2, v3, last)
+}
+
 // SumTagged computes a stateful MAC in the Bonsai-Merkle-Tree style: the
 // tag binds the data to its address and encryption counter, so a block
 // spliced from another address or an old (replayed) counter value
-// produces a different tag.
+// produces a different tag. The result is bit-identical to
+// Sum64(k, data||tweak) where tweak is the 16-byte little-endian
+// (addr, counter) pair, but the tweak is streamed into the hash state
+// instead of materialized in an appended buffer, so the call does not
+// allocate — it runs once per sector on the MAC verify path.
+//
+//simlint:hotpath
 func SumTagged(k Key, data []byte, addr uint64, counter uint64) uint64 {
-	var tweak [16]byte
-	binary.LittleEndian.PutUint64(tweak[0:8], addr)
-	binary.LittleEndian.PutUint64(tweak[8:16], counter)
-	buf := make([]byte, 0, len(data)+16)
-	buf = append(buf, data...)
-	buf = append(buf, tweak[:]...)
-	return Sum64(k, buf)
+	v0, v1, v2, v3 := initState(k)
+
+	n := len(data) + 16
+	msg := data
+	for ; len(msg) >= 8; msg = msg[8:] {
+		v0, v1, v2, v3 = compress(v0, v1, v2, v3, binary.LittleEndian.Uint64(msg))
+	}
+
+	// Splice the 0..7 trailing data bytes and the 16-byte tweak into one
+	// stack buffer so the 8-byte word boundaries line up with the logical
+	// concatenation data||tweak.
+	var tail [24]byte
+	r := copy(tail[:], msg)
+	binary.LittleEndian.PutUint64(tail[r:r+8], addr)
+	binary.LittleEndian.PutUint64(tail[r+8:r+16], counter)
+	rem := tail[:r+16]
+	for ; len(rem) >= 8; rem = rem[8:] {
+		v0, v1, v2, v3 = compress(v0, v1, v2, v3, binary.LittleEndian.Uint64(rem))
+	}
+
+	last := uint64(n) << 56
+	for i, b := range rem {
+		last |= uint64(b) << (8 * uint(i))
+	}
+	return finalize(v0, v1, v2, v3, last)
 }
 
 // Truncate reduces a 64-bit tag to size bytes (1..8), matching the
 // truncated MACs the paper's schemes store (4 B in PSSM, 8 B in Plutus).
+//
+//simlint:hotpath
 func Truncate(tag uint64, size int) uint64 {
 	if size <= 0 {
 		return 0

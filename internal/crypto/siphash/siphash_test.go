@@ -73,6 +73,42 @@ func TestSumTaggedBindsAddressAndCounter(t *testing.T) {
 	}
 }
 
+// TestSumTaggedMatchesConcat pins the streaming SumTagged to its
+// definition: Sum64 over the literal concatenation data||tweak. Lengths
+// 0..40 cover every word-boundary phase of the data tail (0..7 bytes
+// straddling into the tweak) on both sides of the 32 B sector size.
+func TestSumTaggedMatchesConcat(t *testing.T) {
+	k := refKey()
+	for n := 0; n <= 40; n++ {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(i*131 + n*17)
+		}
+		addr := uint64(0x0123456789abcdef)
+		counter := uint64(0xfedcba9876543210) + uint64(n)
+
+		var tweak [16]byte
+		binary.LittleEndian.PutUint64(tweak[0:8], addr)
+		binary.LittleEndian.PutUint64(tweak[8:16], counter)
+		ref := Sum64(k, append(append([]byte{}, data...), tweak[:]...))
+
+		if got := SumTagged(k, data, addr, counter); got != ref {
+			t.Errorf("len %d: SumTagged = %#016x, want Sum64(data||tweak) = %#016x", n, got, ref)
+		}
+	}
+}
+
+func TestSumTaggedAllocFree(t *testing.T) {
+	k := refKey()
+	data := make([]byte, 32)
+	allocs := testing.AllocsPerRun(100, func() {
+		SumTagged(k, data, 0x1000, 7)
+	})
+	if allocs != 0 {
+		t.Errorf("SumTagged allocated %v times per call, want 0", allocs)
+	}
+}
+
 func TestTruncate(t *testing.T) {
 	tag := uint64(0x1122334455667788)
 	cases := []struct {

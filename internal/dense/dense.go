@@ -34,6 +34,8 @@ type Bitmap struct {
 const bitmapPageWords = pageSize / 64
 
 // Get reports whether bit i is set.
+//
+//simlint:hotpath
 func (b *Bitmap) Get(i uint64) bool {
 	p := i >> pageBits
 	if p >= uint64(len(b.pages)) || b.pages[p] == nil {
@@ -65,6 +67,8 @@ func (b *Bitmap) Set(i uint64) {
 }
 
 // Clear clears bit i.
+//
+//simlint:hotpath
 func (b *Bitmap) Clear(i uint64) {
 	p := i >> pageBits
 	if p >= uint64(len(b.pages)) || b.pages[p] == nil {
@@ -79,6 +83,8 @@ func (b *Bitmap) Clear(i uint64) {
 }
 
 // Count returns the number of set bits.
+//
+//simlint:hotpath
 func (b *Bitmap) Count() int { return b.count }
 
 // ForEach calls fn for every set bit in ascending index order.
@@ -115,6 +121,8 @@ type U64 struct {
 }
 
 // Get returns the value at index i (zero if never set).
+//
+//simlint:hotpath
 func (v *U64) Get(i uint64) uint64 {
 	p := i >> pageBits
 	if p >= uint64(len(v.pages)) || v.pages[p] == nil {
@@ -141,6 +149,8 @@ type U32 struct {
 }
 
 // Get returns the value at index i (zero if never set).
+//
+//simlint:hotpath
 func (v *U32) Get(i uint64) uint32 {
 	p := i >> pageBits
 	if p >= uint64(len(v.pages)) || v.pages[p] == nil {
@@ -178,6 +188,8 @@ type Sectors struct {
 // Lookup returns the record at index i and whether it is present. The
 // returned slice aliases store memory; it is valid until the store is
 // restored over.
+//
+//simlint:hotpath
 func (s *Sectors) Lookup(i uint64) ([]byte, bool) {
 	if !s.present.Get(i) {
 		return nil, false
@@ -204,6 +216,8 @@ func (s *Sectors) Put(i uint64) []byte {
 
 // Delete removes record i (its bytes are zeroed so a later Put starts
 // clean).
+//
+//simlint:hotpath
 func (s *Sectors) Delete(i uint64) {
 	if !s.present.Get(i) {
 		return
@@ -215,6 +229,8 @@ func (s *Sectors) Delete(i uint64) {
 }
 
 // Count returns the number of present records.
+//
+//simlint:hotpath
 func (s *Sectors) Count() int { return s.present.Count() }
 
 // ForEach calls fn for every present record in ascending index order.

@@ -70,7 +70,9 @@ type bank struct {
 
 // Channel is one partition's DRAM channel.
 type Channel struct {
-	cfg   Config
+	//simlint:ignore snapsym configuration, not mutable state
+	cfg Config
+	//simlint:ignore snapsym construction wiring, rebuilt by New
 	eng   *sim.Engine
 	banks []bank
 	// busFreeQ is when the shared data bus frees, in quarter-cycles.
@@ -78,6 +80,7 @@ type Channel struct {
 
 	// Traffic is where transactions are accounted (shared with the
 	// partition's other components).
+	//simlint:ignore snapsym shared accounting wiring; the stats shard snapshots itself
 	Traffic *stats.Traffic
 
 	// RowHits / RowMisses measure row-buffer locality.

@@ -280,26 +280,74 @@ func (g *GPU) WriteSnapshot() ([]byte, error) {
 
 	for _, p := range g.parts {
 		pe := checkpoint.NewEncoder()
-		pnow, plast := p.eng.Clock()
-		pe.U64(uint64(pnow))
-		pe.U64(uint64(plast))
-		pe.U64(uint64(p.l2Free))
-		if err := p.l2.Snapshot(pe); err != nil {
+		if err := p.Snapshot(pe); err != nil {
 			return nil, err
 		}
-		pe.U64(uint64(p.l2data.Count()))
-		p.l2data.ForEach(func(si uint64, rec []byte) {
-			pe.U64(si * geom.SectorSize)
-			pe.Bytes(rec)
-		})
-		if err := p.sec.Snapshot(pe); err != nil {
-			return nil, err
-		}
-		p.ch.Snapshot(pe)
-		p.st.Snapshot(pe)
 		f.Add(fmt.Sprintf("part%d", p.id), pe.Data())
 	}
 	return f.Encode(), nil
+}
+
+// Snapshot encodes one partition's complete mutable state: engine
+// clock, L2 issue ladder, L2 tags and data, secure-memory engine, DRAM
+// channel, and statistics shard.
+func (p *partition) Snapshot(pe *checkpoint.Encoder) error {
+	pnow, plast := p.eng.Clock()
+	pe.U64(uint64(pnow))
+	pe.U64(uint64(plast))
+	pe.U64(uint64(p.l2Free))
+	if err := p.l2.Snapshot(pe); err != nil {
+		return err
+	}
+	pe.U64(uint64(p.l2data.Count()))
+	p.l2data.ForEach(func(si uint64, rec []byte) {
+		pe.U64(si * geom.SectorSize)
+		pe.Bytes(rec)
+	})
+	if err := p.sec.Snapshot(pe); err != nil {
+		return err
+	}
+	if err := p.ch.Snapshot(pe); err != nil {
+		return err
+	}
+	p.st.Snapshot(pe)
+	return nil
+}
+
+// Restore decodes state written by Snapshot, walking the same fields in
+// the same order. The caller discards the GPU wholesale on error, so
+// partially restored partition state never escapes.
+func (p *partition) Restore(pd *checkpoint.Decoder) error {
+	pnow, plast := sim.Cycle(pd.U64()), sim.Cycle(pd.U64())
+	p.eng.RestoreClock(pnow, plast)
+	p.l2Free = sim.Cycle(pd.U64())
+	if err := p.l2.Restore(pd); err != nil {
+		return err
+	}
+	nd := pd.U64()
+	var l2data dense.Sectors
+	for i := uint64(0); i < nd && pd.Err() == nil; i++ {
+		a := geom.Addr(pd.U64())
+		rec := pd.Bytes()
+		if len(rec) != geom.SectorSize && pd.Err() == nil {
+			return fmt.Errorf("gpusim: L2 sector %#x has %d bytes, want %d: %w",
+				uint64(a), len(rec), geom.SectorSize, checkpoint.ErrCorrupt)
+		}
+		if pd.Err() == nil {
+			copy(l2data.Put(uint64(a)/geom.SectorSize), rec)
+		}
+	}
+	p.l2data = l2data
+	if err := p.sec.Restore(pd); err != nil {
+		return err
+	}
+	if err := p.ch.Restore(pd); err != nil {
+		return err
+	}
+	if err := p.st.Restore(pd); err != nil {
+		return err
+	}
+	return nil
 }
 
 // ResumeSnapshot builds a GPU from cfg and wl and restores the state in
@@ -409,38 +457,12 @@ func ResumeSnapshot(cfg Config, wl Workload, data []byte) (*GPU, error) {
 		if err != nil {
 			return nil, err
 		}
-		pnow, plast := sim.Cycle(pd.U64()), sim.Cycle(pd.U64())
-		p.l2Free = sim.Cycle(pd.U64())
-		if err := p.l2.Restore(pd); err != nil {
-			return nil, err
-		}
-		nd := pd.U64()
-		var l2data dense.Sectors
-		for i := uint64(0); i < nd && pd.Err() == nil; i++ {
-			a := geom.Addr(pd.U64())
-			rec := pd.Bytes()
-			if len(rec) != geom.SectorSize && pd.Err() == nil {
-				return nil, fmt.Errorf("gpusim: L2 sector %#x has %d bytes, want %d: %w",
-					uint64(a), len(rec), geom.SectorSize, checkpoint.ErrCorrupt)
-			}
-			if pd.Err() == nil {
-				copy(l2data.Put(uint64(a)/geom.SectorSize), rec)
-			}
-		}
-		p.l2data = l2data
-		if err := p.sec.Restore(pd); err != nil {
-			return nil, err
-		}
-		if err := p.ch.Restore(pd); err != nil {
-			return nil, err
-		}
-		if err := p.st.Restore(pd); err != nil {
+		if err := p.Restore(pd); err != nil {
 			return nil, err
 		}
 		if err := pd.Finish(); err != nil {
 			return nil, fmt.Errorf("gpusim: part%d section: %w", p.id, err)
 		}
-		p.eng.RestoreClock(pnow, plast)
 	}
 	return g, nil
 }

@@ -102,6 +102,20 @@ func parseDirectives(fset *token.FileSet, file *ast.File, valid map[string]bool)
 // result sorted by position. valid is the set of registered analyzer
 // names used to validate directives.
 func Suppress(fset *token.FileSet, files []*ast.File, valid map[string]bool, diags []Diagnostic) []Diagnostic {
+	return suppress(fset, files, valid, diags, false)
+}
+
+// SuppressChecked is Suppress plus staleness enforcement: a directive
+// that suppresses no diagnostic of the run is itself reported, under
+// the pseudo-analyzer "unusedignore" (unsuppressable, like malformed
+// directives). Only full-suite drivers use this variant — a
+// single-analyzer run (analysistest, go vet with one -vettool check
+// selected) would see every other analyzer's directives as stale.
+func SuppressChecked(fset *token.FileSet, files []*ast.File, valid map[string]bool, diags []Diagnostic) []Diagnostic {
+	return suppress(fset, files, valid, diags, true)
+}
+
+func suppress(fset *token.FileSet, files []*ast.File, valid map[string]bool, diags []Diagnostic, checkUnused bool) []Diagnostic {
 	var dirs []directive
 	var out []Diagnostic
 	for _, f := range files {
@@ -109,18 +123,32 @@ func Suppress(fset *token.FileSet, files []*ast.File, valid map[string]bool, dia
 		dirs = append(dirs, ds...)
 		out = append(out, bad...)
 	}
+	used := make([]bool, len(dirs))
 	for _, d := range diags {
 		p := fset.Position(d.Pos)
 		suppressed := false
-		for _, dir := range dirs {
+		for i, dir := range dirs {
 			if dir.file == p.Filename && dir.line == p.Line &&
 				(dir.analyzer == "all" || dir.analyzer == d.Analyzer) {
 				suppressed = true
-				break
+				used[i] = true
+				// Keep scanning: a second directive on the same line
+				// (e.g. "all" next to a named one) is also exercised.
 			}
 		}
 		if !suppressed {
 			out = append(out, d)
+		}
+	}
+	if checkUnused {
+		for i, dir := range dirs {
+			if !used[i] {
+				out = append(out, Diagnostic{
+					Pos:      dir.pos,
+					Analyzer: "unusedignore",
+					Message:  "//simlint:ignore " + dir.analyzer + " suppresses no diagnostic; the directive is stale — remove it",
+				})
+			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

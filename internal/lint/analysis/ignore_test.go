@@ -72,3 +72,45 @@ func TestSuppress(t *testing.T) {
 		}
 	}
 }
+
+const staleSrc = `package p
+
+func f() {
+	a() //simlint:ignore det suppresses a real finding
+	b() //simlint:ignore det nothing to suppress here
+	c() //simlint:ignore all nothing here either
+}
+`
+
+// TestSuppressChecked: a directive that suppresses nothing is itself a
+// finding under the unsuppressable pseudo-analyzer "unusedignore";
+// plain Suppress stays silent about the same directives so that
+// single-analyzer runs don't misreport other analyzers' directives.
+func TestSuppressChecked(t *testing.T) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", staleSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := map[string]bool{"det": true}
+	tf := fset.File(file.Pos())
+	diags := []Diagnostic{{Pos: tf.LineStart(4), Analyzer: "det", Message: "finding"}}
+
+	if out := Suppress(fset, []*ast.File{file}, valid, diags); len(out) != 0 {
+		t.Fatalf("Suppress: got %d diagnostics, want 0", len(out))
+	}
+
+	out := SuppressChecked(fset, []*ast.File{file}, valid, diags)
+	if len(out) != 2 {
+		for _, d := range out {
+			t.Logf("got %s: %s: %s", fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+		t.Fatalf("SuppressChecked: got %d diagnostics, want 2", len(out))
+	}
+	for i, wantLine := range []int{5, 6} {
+		p := fset.Position(out[i].Pos)
+		if out[i].Analyzer != "unusedignore" || p.Line != wantLine {
+			t.Errorf("diag %d = line %d %s, want line %d unusedignore", i, p.Line, out[i].Analyzer, wantLine)
+		}
+	}
+}

@@ -59,10 +59,20 @@ func run(pass *analysis.Pass) error {
 		return nil
 	}
 	for _, file := range pass.Files {
+		// qualified marks the Sel idents of selector expressions already
+		// handled by checkSelector, so the bare-identifier walk below only
+		// sees names brought in by dot imports. Inspect is pre-order, so a
+		// selector is always recorded before its Sel ident is visited.
+		qualified := make(map[*ast.Ident]bool)
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.SelectorExpr:
+				qualified[n.Sel] = true
 				checkSelector(pass, n)
+			case *ast.Ident:
+				if !qualified[n] {
+					checkDotIdent(pass, n)
+				}
 			case *ast.CallExpr:
 				checkQuick(pass, n)
 			}
@@ -111,6 +121,34 @@ func checkSelector(pass *analysis.Pass, sel *ast.SelectorExpr) {
 	case "crypto/rand":
 		pass.Reportf(sel.Pos(),
 			"crypto/rand is a hardware entropy source; sim-critical code must use a seeded *rand.Rand from config")
+	}
+}
+
+// checkDotIdent flags bare identifiers that resolve into the forbidden
+// packages — the dot-import gap: `import . "time"` makes Now() a plain
+// call that never forms a SelectorExpr, so resolution must go through
+// the identifier's use object instead of an import qualifier.
+func checkDotIdent(pass *analysis.Pass, id *ast.Ident) {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	switch obj.Pkg().Path() {
+	case "time":
+		if _, isFunc := obj.(*types.Func); isFunc && clockFuncs[id.Name] {
+			pass.Reportf(id.Pos(),
+				"dot-imported time.%s reads the host clock in sim-critical package %s; simulated time is sim.Cycle (engine.Now())",
+				id.Name, scope.Norm(pass.Pkg.Path()))
+		}
+	case "math/rand", "math/rand/v2":
+		if _, isFunc := obj.(*types.Func); isFunc && !seededConstructors[id.Name] {
+			pass.Reportf(id.Pos(),
+				"dot-imported global %s.%s draws from a process-seeded stream; plumb a seeded *rand.Rand (rand.New(rand.NewSource(seed))) from config",
+				obj.Pkg().Name(), id.Name)
+		}
+	case "crypto/rand":
+		pass.Reportf(id.Pos(),
+			"dot-imported crypto/rand is a hardware entropy source; sim-critical code must use a seeded *rand.Rand from config")
 	}
 }
 

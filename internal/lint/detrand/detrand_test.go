@@ -21,3 +21,11 @@ func TestSimCritical(t *testing.T) {
 func TestOutOfScope(t *testing.T) {
 	analysistest.Run(t, detrand.Analyzer, "cmd/bench")
 }
+
+// TestDotImports covers the dot-import gap: `import . "time"` turns
+// Now() into a bare identifier that the selector walk never sees, so
+// the analyzer resolves identifiers through their use objects. Seeded
+// constructors and pure types stay legal under dot import too.
+func TestDotImports(t *testing.T) {
+	analysistest.Run(t, detrand.Analyzer, "internal/harness")
+}

@@ -1,0 +1,11 @@
+// Fixture: crypto/rand under a dot import — every reference is flagged,
+// same as the qualified form. (Separate file: dot-importing crypto/rand
+// and math/rand in one file would collide on Int and Read.)
+package harness
+
+import . "crypto/rand"
+
+func dotEntropy(buf []byte) error {
+	_, err := Read(buf) // want `dot-imported crypto/rand is a hardware entropy source`
+	return err
+}

@@ -1,0 +1,29 @@
+// Fixture: dot imports strip the package qualifier, so the selector
+// walk alone would let `import . "time"` smuggle wall-clock reads into
+// a sim-critical package as bare calls. Resolution must go through the
+// identifier's use object.
+package harness
+
+import (
+	. "math/rand"
+	. "time"
+)
+
+func dotClock() Duration {
+	start := Now()      // want `dot-imported time.Now reads the host clock in sim-critical package internal/harness`
+	Sleep(Millisecond)  // want `dot-imported time.Sleep reads the host clock in sim-critical package internal/harness`
+	return Since(start) // want `dot-imported time.Since reads the host clock in sim-critical package internal/harness`
+}
+
+func dotGlobalRand() float64 {
+	return Float64() // want `dot-imported global rand.Float64 draws from a process-seeded stream`
+}
+
+// dotSeeded builds an explicit generator: the dot-imported constructors
+// are the same seeded ones the selector path allows, so no diagnostic.
+func dotSeeded() *Rand {
+	return New(NewSource(1))
+}
+
+// Pure time types and constants stay legal regardless of import style.
+func dotPure(d Duration) Duration { return d * Second }

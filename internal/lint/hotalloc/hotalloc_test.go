@@ -1,0 +1,130 @@
+package hotalloc_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/plutus-gpu/plutus/internal/lint/analysistest"
+	"github.com/plutus-gpu/plutus/internal/lint/hotalloc"
+)
+
+// markerSource synthesizes one escape Record per `// escape: <message>`
+// marker in the package's files, replacing the go build invocation so
+// the fixtures are line-exact and hermetic.
+func markerSource(dir string) ([]hotalloc.Record, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var recs []hotalloc.Record
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			idx := strings.Index(line, "// escape: ")
+			if idx < 0 {
+				continue
+			}
+			recs = append(recs, hotalloc.Record{
+				File:    path,
+				Line:    i + 1,
+				Col:     idx + 1,
+				Message: line[idx+len("// escape: "):],
+			})
+		}
+	}
+	return recs, nil
+}
+
+// TestAnnotatedFunctions drives the escape, closure, moved-to-heap,
+// panic-exemption, unannotated, and misplaced-annotation fixtures.
+func TestAnnotatedFunctions(t *testing.T) {
+	prev := hotalloc.Source
+	hotalloc.Source = markerSource
+	defer func() { hotalloc.Source = prev }()
+	analysistest.Run(t, hotalloc.Analyzer, "internal/sim")
+}
+
+// TestParseEscapes pins the -m=2 parser against captured compiler
+// output: allocation records are kept and deduplicated, while inlining
+// notes, leaking-parameter facts, flow traces, package headers, and
+// "does not escape" verdicts are dropped.
+func TestParseEscapes(t *testing.T) {
+	out := strings.Join([]string{
+		"# github.com/plutus-gpu/plutus/internal/sim",
+		"./engine.go:124:14: inlining call to farLess",
+		"./engine.go:119:26: parameter fe leaks to {heap} with derefs=0:",
+		"./engine.go:119:26:   flow: {heap} = fe:",
+		`./engine.go:105:9: "sim: causality violation" escapes to heap:`,
+		`./engine.go:105:9: "sim: causality violation" escapes to heap`,
+		"./gcipher.go:205:6: pad escapes to heap:",
+		"./gcipher.go:205:6: moved to heap: pad",
+		"./gcipher.go:44:37: int(m) escapes to heap",
+		"./queue.go:31:12: make([]func(), n) does not escape",
+		"/abs/dir/other.go:7:2: moved to heap: t",
+		"not a diagnostic line",
+	}, "\n")
+	recs := hotalloc.ParseEscapes("/pkg", []byte(out))
+
+	type key struct {
+		file string
+		line int
+		col  int
+		msg  string
+	}
+	got := map[key]bool{}
+	for _, r := range recs {
+		got[key{r.File, r.Line, r.Col, r.Message}] = true
+	}
+	want := []key{
+		{"/pkg/engine.go", 105, 9, `"sim: causality violation" escapes to heap`},
+		{"/pkg/gcipher.go", 205, 6, "pad escapes to heap"},
+		{"/pkg/gcipher.go", 205, 6, "moved to heap: pad"},
+		{"/pkg/gcipher.go", 44, 37, "int(m) escapes to heap"},
+		{"/abs/dir/other.go", 7, 2, "moved to heap: t"},
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("got %d records, want %d: %+v", len(recs), len(want), recs)
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("missing record %+v", w)
+		}
+	}
+}
+
+// TestGoBuildSource runs the real compiler path over internal/sim and
+// checks the records have the shape the analyzer consumes. Build-cache
+// replay makes this cheap after the first run.
+func TestGoBuildSource(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go build")
+	}
+	dir, err := filepath.Abs(filepath.Join("..", "..", "sim"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := hotalloc.Source(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if !filepath.IsAbs(r.File) {
+			t.Errorf("record file not absolute: %q", r.File)
+		}
+		if !strings.HasSuffix(r.Message, "escapes to heap") && !strings.HasPrefix(r.Message, "moved to heap") {
+			t.Errorf("record message not an allocation: %q", r.Message)
+		}
+		if r.Line <= 0 || r.Col <= 0 {
+			t.Errorf("record has bad position: %+v", r)
+		}
+	}
+}

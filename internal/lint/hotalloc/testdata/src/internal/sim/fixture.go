@@ -1,0 +1,73 @@
+// Fixture: //simlint:hotpath enforcement. The test substitutes the
+// compiler-output Source with one that synthesizes an escape record for
+// every `// escape: <message>` marker in this file, so the fixture
+// stays line-exact without shelling out to go build.
+package sim
+
+// Engine stands in for the event engine.
+type Engine struct {
+	ring []func()
+	now  uint64
+}
+
+// hotClean is annotated and allocation-free: no records, no findings.
+//
+//simlint:hotpath
+func hotClean(e *Engine, fn func()) {
+	e.ring = append(e.ring[:0], fn)
+	e.now++
+}
+
+// hotEscape has a value escape inside the annotated body.
+//
+//simlint:hotpath
+func hotEscape(e *Engine) *uint64 {
+	v := new(uint64) // escape: new(uint64) escapes to heap
+	// want `heap allocation in //simlint:hotpath function hotEscape: new\(uint64\) escapes to heap`
+	*v = e.now
+	return v
+}
+
+// hotClosure captures a loop variable in an escaping closure.
+//
+//simlint:hotpath
+func hotClosure(e *Engine, n int) {
+	for i := 0; i < n; i++ {
+		i := i
+		e.ring = append(e.ring, func() { // escape: func literal escapes to heap
+			// want `heap allocation in //simlint:hotpath function hotClosure: func literal escapes to heap`
+			e.now += uint64(i)
+		})
+	}
+}
+
+// hotMoved has a variable forced to the heap (interface boxing shape).
+//
+//simlint:hotpath
+func hotMoved(e *Engine) {
+	t := e.now // escape: moved to heap: t
+	// want `heap allocation in //simlint:hotpath function hotMoved: moved to heap: t`
+	sink(&t)
+}
+
+// hotPanic only allocates on its panic line: panic strings escape by
+// construction and the panicking path is off the fast path, so the
+// record is exempt and the function stays clean.
+//
+//simlint:hotpath
+func hotPanic(e *Engine, at uint64) {
+	if at < e.now {
+		panic("sim: schedule in the past") // escape: "sim: schedule in the past" escapes to heap
+	}
+	e.now = at
+}
+
+// coldAlloc is not annotated: it may allocate freely even though a
+// record points into it.
+func coldAlloc(e *Engine) *Engine {
+	out := &Engine{now: e.now} // escape: &Engine{...} escapes to heap
+	return out
+}
+
+//go:noinline
+func sink(p *uint64) { _ = p }

@@ -1,0 +1,9 @@
+// Fixture: the annotation is meaningless in _test.go files — go build
+// never compiles them, so escape analysis cannot see the body — and is
+// reported as misplaced rather than silently passing.
+package sim
+
+//simlint:hotpath
+func hotInTest(e *Engine) { // want `//simlint:hotpath on a _test\.go function`
+	e.now++
+}

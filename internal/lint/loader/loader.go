@@ -24,6 +24,8 @@ import (
 	"io"
 	"os/exec"
 	"path/filepath"
+	"runtime"
+	"sync"
 )
 
 // Package is one type-checked analysis unit.
@@ -56,6 +58,14 @@ type listError struct {
 // Load lists patterns in dir (the module root; "" means the current
 // directory) and returns one Package per analysis unit, in `go list`
 // order with the augmented unit before its external test unit.
+//
+// Units are type-checked in parallel in two phases: first every
+// augmented unit, then every external test unit (which must see its
+// augmented package). token.FileSet is internally synchronized; the
+// shared source importer is serialized by lockedImporter, so the
+// concurrency win is in parsing and in checking the unit bodies
+// themselves. The returned order is the deterministic sequential order
+// regardless of goroutine scheduling.
 func Load(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -68,9 +78,9 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	fset := token.NewFileSet()
 	// One shared source importer so dependency packages are
 	// type-checked at most once across all units.
-	src := importer.ForCompiler(fset, "source", nil)
+	src := &lockedImporter{next: importer.ForCompiler(fset, "source", nil)}
 
-	var units []*Package
+	var lps []listed
 	for _, lp := range pkgs {
 		if lp.Standard || lp.ForTest != "" {
 			continue
@@ -78,39 +88,93 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if lp.Error != nil {
 			return nil, fmt.Errorf("go list %s: %s", lp.ImportPath, lp.Error.Err)
 		}
-		aug, err := check(fset, src, lp, lp.ImportPath,
+		lps = append(lps, lp)
+	}
+
+	// Phase 1: augmented units (GoFiles + TestGoFiles).
+	augs := make([]*Package, len(lps))
+	errs := make([]error, len(lps))
+	eachIndex(len(lps), func(i int) {
+		lp := lps[i]
+		augs[i], errs[i] = check(fset, src, lp, lp.ImportPath,
 			append(append([]string{}, lp.GoFiles...), lp.TestGoFiles...))
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		if aug != nil {
-			units = append(units, aug)
+	}
+
+	// Phase 2: external test units, against their augmented packages.
+	xts := make([]*Package, len(lps))
+	eachIndex(len(lps), func(i int) {
+		lp := lps[i]
+		if len(lp.XTestGoFiles) == 0 {
+			return
 		}
-		if len(lp.XTestGoFiles) > 0 {
-			// foo_test imports foo. Only when foo has in-package test
-			// files does that import resolve to the augmented unit (so
-			// export_test.go-style helpers are visible); otherwise the
-			// augmented unit is identical to the plain package, and
-			// resolving through the shared source importer keeps type
-			// identity consistent when foo_test also imports a
-			// dependency that itself imports foo (e.g. internal/server's
-			// external test importing internal/server/client).
-			var imp types.Importer = src
-			if len(lp.TestGoFiles) > 0 {
-				var augTypes *types.Package
-				if aug != nil {
-					augTypes = aug.Types
-				}
-				imp = &selfImporter{self: lp.ImportPath, pkg: augTypes, next: src}
+		// foo_test imports foo. Only when foo has in-package test
+		// files does that import resolve to the augmented unit (so
+		// export_test.go-style helpers are visible); otherwise the
+		// augmented unit is identical to the plain package, and
+		// resolving through the shared source importer keeps type
+		// identity consistent when foo_test also imports a
+		// dependency that itself imports foo (e.g. internal/server's
+		// external test importing internal/server/client).
+		var imp types.Importer = src
+		if len(lp.TestGoFiles) > 0 {
+			var augTypes *types.Package
+			if augs[i] != nil {
+				augTypes = augs[i].Types
 			}
-			xt, err := check(fset, imp, lp, lp.ImportPath+"_test", lp.XTestGoFiles)
-			if err != nil {
-				return nil, err
-			}
-			units = append(units, xt)
+			imp = &selfImporter{self: lp.ImportPath, pkg: augTypes, next: src}
+		}
+		xts[i], errs[i] = check(fset, imp, lp, lp.ImportPath+"_test", lp.XTestGoFiles)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var units []*Package
+	for i := range lps {
+		if augs[i] != nil {
+			units = append(units, augs[i])
+		}
+		if xts[i] != nil {
+			units = append(units, xts[i])
 		}
 	}
 	return units, nil
+}
+
+// eachIndex runs fn(0..n-1) on up to NumCPU goroutines and waits.
+func eachIndex(n int, fn func(i int)) {
+	sem := make(chan struct{}, runtime.NumCPU())
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// lockedImporter serializes access to a non-concurrency-safe importer
+// so parallel unit type-checks can share one dependency cache.
+type lockedImporter struct {
+	mu   sync.Mutex
+	next types.Importer
+}
+
+func (l *lockedImporter) Import(path string) (*types.Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next.Import(path)
 }
 
 func check(fset *token.FileSet, imp types.Importer, lp listed, path string, files []string) (*Package, error) {

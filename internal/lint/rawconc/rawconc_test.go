@@ -55,3 +55,17 @@ func TestCheckpointFlagged(t *testing.T) {
 func TestDenseFlagged(t *testing.T) {
 	analysistest.Run(t, rawconc.Analyzer, "internal/dense")
 }
+
+// TestProfFlagged: profiling hooks run inside simulating processes; a
+// background flush goroutine would perturb event order, so internal/prof
+// is off the allowlist.
+func TestProfFlagged(t *testing.T) {
+	analysistest.Run(t, rawconc.Analyzer, "internal/prof")
+}
+
+// TestTamperFlagged: fault injection is timed in simulated cycles and
+// diffed against golden oracles; a parallel injection sweep would
+// decouple fault timing from simulated time.
+func TestTamperFlagged(t *testing.T) {
+	analysistest.Run(t, rawconc.Analyzer, "internal/tamper")
+}

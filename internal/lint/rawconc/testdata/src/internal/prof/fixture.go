@@ -1,0 +1,23 @@
+// Fixture: internal/prof's hooks run inside simulating processes, so a
+// background flush goroutine or a channel-fed aggregator would let the
+// profiler perturb event order. The package is deliberately off the
+// rawconc allowlist.
+package prof
+
+type sample struct {
+	at    uint64
+	value uint64
+}
+
+func backgroundFlush(samples []sample, sink func(sample)) {
+	feed := make(chan sample, len(samples)) // want `make\(chan\) in determinism-scoped package internal/prof`
+	go func() {                             // want `go statement in determinism-scoped package internal/prof`
+		for s := range feed { // want `range over a channel in determinism-scoped package internal/prof`
+			sink(s)
+		}
+	}()
+	for _, s := range samples {
+		feed <- s // want `raw channel send in determinism-scoped package internal/prof`
+	}
+	close(feed)
+}

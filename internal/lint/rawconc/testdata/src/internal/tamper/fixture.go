@@ -1,0 +1,31 @@
+// Fixture: internal/tamper injects faults at exact cycles and compares
+// runs against a golden oracle, so the injector must execute on the
+// shard's own goroutine — a "parallel injection sweep" would decouple
+// fault timing from simulated time. The package is sim-critical and off
+// the rawconc allowlist.
+package tamper
+
+type injection struct {
+	cycle uint64
+	addr  uint64
+}
+
+func parallelSweep(injs []injection, apply func(injection) bool) int {
+	results := make(chan bool) // want `make\(chan\) in determinism-scoped package internal/tamper`
+	for _, inj := range injs {
+		inj := inj
+		go func() { // want `go statement in determinism-scoped package internal/tamper`
+			results <- apply(inj) // want `raw channel send in determinism-scoped package internal/tamper`
+		}()
+	}
+	detected := 0
+	for range injs {
+		select { // want `select statement in determinism-scoped package internal/tamper`
+		case ok := <-results: // want `raw channel receive in determinism-scoped package internal/tamper`
+			if ok {
+				detected++
+			}
+		}
+	}
+	return detected
+}

@@ -83,14 +83,19 @@ func DetRand(pkgPath string) bool {
 // mechanism (cycle-stamped shard mailboxes); the harness fans out
 // independent, internally-deterministic runs; internal/server (with its
 // client) and cmd/plutusd are a network service — a worker pool and
-// bounded queue are their job, and no simulation state lives there; the
-// lint tree needs scratch freedom for its own machinery.
+// bounded queue are their job, and no simulation state lives there. In
+// the lint tree only the loader (parallel package loading) and the
+// suite runner (parallel per-unit analysis) are concurrent; the
+// analyzers themselves, the framework, and the fixture harness are
+// sequential by construction and stay under the default deny so a
+// goroutine can never sneak into result aggregation.
 var rawConcAllowed = []string{
 	"internal/sim",
 	"internal/harness",
 	"internal/server", // covers internal/server/client
 	"cmd/plutusd",
-	"internal/lint",
+	"internal/lint/loader",
+	"internal/lint/simlint",
 }
 
 // RawConc reports whether the rawconc analyzer applies: the whole
@@ -121,5 +126,31 @@ func MapOrder(pkgPath string) bool {
 // call sites (schema-defining strings) are checked module-wide except in
 // the lint tree's own fixtures.
 func StatsKey(pkgPath string) bool {
+	return !under(Norm(pkgPath), "internal/lint")
+}
+
+// SnapSym reports whether the snapsym analyzer applies: every
+// sim-critical package, since that is where checkpointed state lives
+// and the codec method pairs are defined.
+func SnapSym(pkgPath string) bool {
+	return SimCritical(pkgPath)
+}
+
+// StickyErr reports whether the stickyerr analyzer applies. The sticky
+// decode-error discipline (run straight through, check Err/Finish once,
+// never write after an unchecked error) is a property of codec code,
+// all of which lives in sim-critical packages; the analyzer further
+// narrows itself to functions that actually touch codec values.
+func StickyErr(pkgPath string) bool {
+	return SimCritical(pkgPath)
+}
+
+// HotAlloc reports whether the hotalloc analyzer applies. The
+// //simlint:hotpath annotation is only meaningful on code that can
+// appear on the per-event path, but the annotation itself is the
+// opt-in — so the analyzer runs wherever annotations could legitimately
+// appear and early-outs on unannotated packages. The lint tree is
+// excluded to keep its fixtures inert under the real driver.
+func HotAlloc(pkgPath string) bool {
 	return !under(Norm(pkgPath), "internal/lint")
 }

@@ -47,7 +47,12 @@ func TestScopes(t *testing.T) {
 		{mod("internal/server"), false, false, false, true},
 		{mod("internal/server/client"), false, false, false, true},
 		{mod("cmd/plutusd"), false, false, false, true},
-		{mod("internal/lint/detrand"), false, false, false, false},
+		// The lint tree's rawconc allowlist is least-privilege: only the
+		// loader (parallel package loading) and the suite runner (parallel
+		// per-unit analysis) are concurrent; analyzers stay default-deny.
+		{mod("internal/lint/detrand"), false, false, true, false},
+		{mod("internal/lint/loader"), false, false, false, false},
+		{mod("internal/lint/simlint"), false, false, false, false},
 	}
 	for _, r := range rows {
 		if got := SimCritical(r.path); got != r.simCrit {

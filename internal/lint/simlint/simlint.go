@@ -9,21 +9,30 @@
 package simlint
 
 import (
+	"runtime"
+	"sync"
+
 	"github.com/plutus-gpu/plutus/internal/lint/analysis"
 	"github.com/plutus-gpu/plutus/internal/lint/detrand"
+	"github.com/plutus-gpu/plutus/internal/lint/hotalloc"
 	"github.com/plutus-gpu/plutus/internal/lint/loader"
 	"github.com/plutus-gpu/plutus/internal/lint/maporder"
 	"github.com/plutus-gpu/plutus/internal/lint/rawconc"
+	"github.com/plutus-gpu/plutus/internal/lint/snapsym"
 	"github.com/plutus-gpu/plutus/internal/lint/statskey"
+	"github.com/plutus-gpu/plutus/internal/lint/stickyerr"
 )
 
 // Analyzers returns the suite in stable (alphabetical) order.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		detrand.Analyzer,
+		hotalloc.Analyzer,
 		maporder.Analyzer,
 		rawconc.Analyzer,
+		snapsym.Analyzer,
 		statskey.Analyzer,
+		stickyerr.Analyzer,
 	}
 }
 
@@ -39,7 +48,10 @@ func Names() map[string]bool {
 
 // RunPackage runs every analyzer over one loaded unit and returns the
 // surviving diagnostics after //simlint:ignore suppression, sorted by
-// position.
+// position. Because the full suite runs, suppression is checked: a
+// directive that suppresses nothing is itself reported (analyzer
+// "unusedignore") so stale ignores can't linger after the code they
+// excused is fixed or deleted.
 func RunPackage(pkg *loader.Package) ([]analysis.Diagnostic, error) {
 	var diags []analysis.Diagnostic
 	for _, a := range Analyzers() {
@@ -57,19 +69,36 @@ func RunPackage(pkg *loader.Package) ([]analysis.Diagnostic, error) {
 			return nil, err
 		}
 	}
-	return analysis.Suppress(pkg.Fset, pkg.Files, Names(), diags), nil
+	return analysis.SuppressChecked(pkg.Fset, pkg.Files, Names(), diags), nil
 }
 
 // RunPackages runs the suite over every unit, concatenating surviving
-// diagnostics in unit order.
+// diagnostics in unit order. Units are analyzed in parallel — every
+// analyzer in the suite is a pure function of its unit (the one shared
+// mutable resource, hotalloc's compiler-output cache, serializes
+// internally) — and the output order is the deterministic sequential
+// order regardless of scheduling.
 func RunPackages(pkgs []*loader.Package) ([]analysis.Diagnostic, error) {
+	perUnit := make([][]analysis.Diagnostic, len(pkgs))
+	errs := make([]error, len(pkgs))
+	sem := make(chan struct{}, runtime.NumCPU())
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(i int, pkg *loader.Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			perUnit[i], errs[i] = RunPackage(pkg)
+		}(i, pkg)
+	}
+	wg.Wait()
 	var all []analysis.Diagnostic
-	for _, pkg := range pkgs {
-		diags, err := RunPackage(pkg)
-		if err != nil {
-			return nil, err
+	for i := range pkgs {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		all = append(all, diags...)
+		all = append(all, perUnit[i]...)
 	}
 	return all, nil
 }

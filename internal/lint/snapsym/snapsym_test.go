@@ -1,0 +1,21 @@
+package snapsym_test
+
+import (
+	"testing"
+
+	"github.com/plutus-gpu/plutus/internal/lint/analysistest"
+	"github.com/plutus-gpu/plutus/internal/lint/snapsym"
+)
+
+// TestSimCritical exercises the four fixture cases in a sim-critical
+// package: matched pairs (with decoder-only reads and a directive-
+// exempted scratch field) stay clean; reordered decodes, dropped
+// fields, and encode-only fields are flagged.
+func TestSimCritical(t *testing.T) {
+	analysistest.Run(t, snapsym.Analyzer, "internal/secmem")
+}
+
+// TestOutOfScope: packages without simulation state are not checked.
+func TestOutOfScope(t *testing.T) {
+	analysistest.Run(t, snapsym.Analyzer, "internal/harness")
+}

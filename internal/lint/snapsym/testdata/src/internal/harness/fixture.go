@@ -1,0 +1,22 @@
+// Fixture: internal/harness is not sim-critical — no checkpointed
+// simulation state lives here — so snapsym does not apply and even a
+// blatantly asymmetric pair is left alone.
+package harness
+
+import "internal/checkpoint"
+
+type runRecord struct {
+	cycles uint64
+	label  uint64
+}
+
+func (r *runRecord) Snapshot(enc *checkpoint.Encoder) error {
+	enc.U64(r.cycles)
+	enc.U64(r.label)
+	return nil
+}
+
+func (r *runRecord) Restore(dec *checkpoint.Decoder) error {
+	r.label = dec.U64()
+	return dec.Err()
+}

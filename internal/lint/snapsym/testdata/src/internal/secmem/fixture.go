@@ -1,0 +1,118 @@
+// Fixture: checkpoint codec method pairs in a sim-critical package
+// (modelled as internal/secmem). Covers the matched, reordered,
+// omitted-field, and ignored-field cases, plus the shapes snapsym must
+// deliberately tolerate: decoder-only configuration reads and derived
+// state rebuilt on restore.
+package secmem
+
+import "internal/checkpoint"
+
+type config struct{ groups uint32 }
+
+// Matched is the sanctioned shape: both methods walk the same fields in
+// the same order; the decoder may additionally read configuration for
+// cross-checks, and transient scratch is exempted with a reasoned
+// directive on its declaration.
+type Matched struct {
+	epoch   uint64
+	dirty   uint32
+	cfg     config
+	scratch []byte //simlint:ignore snapsym per-request scratch, dead at quiescent snapshot points
+}
+
+func (m *Matched) Snapshot(enc *checkpoint.Encoder) error {
+	enc.U64(m.epoch)
+	enc.U32(m.dirty)
+	return nil
+}
+
+func (m *Matched) Restore(dec *checkpoint.Decoder) error {
+	if dec.U32() != m.cfg.groups { // decoder-only cfg read: legal
+		return dec.Err()
+	}
+	m.epoch = dec.U64()
+	m.dirty = dec.U32()
+	return dec.Err()
+}
+
+// Reordered decodes fields in a different order than they were encoded:
+// the restored values land in the wrong fields (or corrupt the stream
+// when widths differ), so the first out-of-order decoder reference is
+// flagged.
+type Reordered struct {
+	major uint64
+	minor uint64
+}
+
+func (r *Reordered) Snapshot(enc *checkpoint.Encoder) error {
+	enc.U64(r.major)
+	enc.U64(r.minor)
+	return nil
+}
+
+func (r *Reordered) Restore(dec *checkpoint.Decoder) error {
+	r.minor = dec.U64() // want `Reordered\.Restore references field minor out of order: Snapshot touches major`
+	r.major = dec.U64()
+	return dec.Err()
+}
+
+// Omitted drops fields: state silently missing from the snapshot, and
+// encoded state a restore silently discards. Both are reported at the
+// field declaration, where the exemption directive would live.
+type Omitted struct {
+	kept    uint64
+	dropped uint64 // want `field Omitted\.dropped is captured by neither Snapshot nor Restore`
+	encOnly uint64 // want `field Omitted\.encOnly is written by Snapshot but never read back by Restore`
+}
+
+func (o *Omitted) Snapshot(enc *checkpoint.Encoder) error {
+	enc.U64(o.kept)
+	enc.U64(o.encOnly)
+	return nil
+}
+
+func (o *Omitted) Restore(dec *checkpoint.Decoder) error {
+	o.kept = dec.U64()
+	return dec.Err()
+}
+
+// pair uses the lowercase verb pair and void returns; the check binds
+// to the codec parameter types, not the signature shape.
+type pair struct {
+	a uint32
+	b uint32
+}
+
+func (p *pair) encode(enc *checkpoint.Encoder) {
+	enc.U32(p.a)
+	enc.U32(p.b)
+}
+
+func (p *pair) decode(dec *checkpoint.Decoder) {
+	p.b = dec.U32() // want `pair\.decode references field b out of order: encode touches a`
+	p.a = dec.U32()
+}
+
+// Fallback has one encoder and one decoder method under unpaired names:
+// the sole pair is matched positionally, and its closure-based walk is
+// still seen (field references inside func literals count).
+type Fallback struct {
+	words []uint64
+	n     uint32
+}
+
+func (f *Fallback) writeTo(enc *checkpoint.Encoder) {
+	enc.U32(f.n)
+	walk(func() {
+		for _, w := range f.words {
+			enc.U64(w)
+		}
+	})
+}
+
+func (f *Fallback) readFrom(dec *checkpoint.Decoder) {
+	f.words = append(f.words[:0], dec.U64()) // want `Fallback\.readFrom references field words out of order: writeTo touches n`
+	f.n = dec.U32()
+}
+
+func walk(fn func()) { fn() }

@@ -1,0 +1,15 @@
+package stickyerr_test
+
+import (
+	"testing"
+
+	"github.com/plutus-gpu/plutus/internal/lint/analysistest"
+	"github.com/plutus-gpu/plutus/internal/lint/stickyerr"
+)
+
+// TestCodecFunctions exercises the dropped, shadowed, overwritten,
+// never-checked, and clean cases in a sim-critical package, plus the
+// out-of-scope-function and directive-suppression paths.
+func TestCodecFunctions(t *testing.T) {
+	analysistest.Run(t, stickyerr.Analyzer, "internal/secmem")
+}

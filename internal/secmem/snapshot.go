@@ -120,8 +120,8 @@ func (e *Engine) Restore(dec *checkpoint.Decoder) error {
 		return fmt.Errorf("secmem: %w", err)
 	}
 	e.mem = mem
-	e.macs = macs
 	e.macsSet = macsSet
+	e.macs = macs
 	e.macStale = macStale
 	e.taintData = taintData
 	e.taintMeta = taintMeta

@@ -86,6 +86,8 @@ func (e *Engine) LastEventAt() Cycle { return e.last }
 
 // Schedule runs fn after delay cycles. A delay of zero runs fn later in
 // the current cycle, after already-queued same-cycle events.
+//
+//simlint:hotpath
 func (e *Engine) Schedule(delay Cycle, fn func()) {
 	e.seq++
 	if delay < ringSize {
@@ -100,6 +102,8 @@ func (e *Engine) Schedule(delay Cycle, fn func()) {
 // past. Among events at the same cycle it runs after everything already
 // queued (same FIFO rule as Schedule). Cross-shard message delivery uses
 // it to inject mail stamped with absolute delivery cycles.
+//
+//simlint:hotpath
 func (e *Engine) ScheduleAt(at Cycle, fn func()) {
 	if at < e.now {
 		panic("sim: ScheduleAt in the past (causality violation)")
@@ -107,6 +111,7 @@ func (e *Engine) ScheduleAt(at Cycle, fn func()) {
 	e.Schedule(at-e.now, fn)
 }
 
+//simlint:hotpath
 func (e *Engine) pushRing(at Cycle, ev event) {
 	s := at & ringMask
 	b := &e.ring[s]
@@ -116,6 +121,7 @@ func (e *Engine) pushRing(at Cycle, ev event) {
 	b.evs = append(b.evs, ev)
 }
 
+//simlint:hotpath
 func (e *Engine) pushFar(fe farEvent) {
 	e.far = append(e.far, fe)
 	i := len(e.far) - 1
@@ -137,6 +143,8 @@ func farLess(a, b *farEvent) bool {
 }
 
 // popFar removes and returns the earliest overflow event.
+//
+//simlint:hotpath
 func (e *Engine) popFar() farEvent {
 	fe := e.far[0]
 	n := len(e.far) - 1
@@ -165,6 +173,8 @@ func (e *Engine) popFar() farEvent {
 // migrateFar moves overflow events that now fall inside the ring window
 // into their buckets. It must run whenever now advances, before any event
 // at the new time executes (see the ordering invariant above).
+//
+//simlint:hotpath
 func (e *Engine) migrateFar() {
 	horizon := e.now + ringSize
 	for len(e.far) > 0 && e.far[0].at < horizon {
@@ -175,6 +185,8 @@ func (e *Engine) migrateFar() {
 
 // nextBusy returns the ring slot of the earliest nonempty bucket at or
 // after cycle from, scanning the occupancy bitmap with wraparound.
+//
+//simlint:hotpath
 func (e *Engine) nextBusy(from Cycle) (Cycle, bool) {
 	s0 := from & ringMask
 	w0 := int(s0 >> 6)
@@ -194,6 +206,8 @@ func (e *Engine) nextBusy(from Cycle) (Cycle, bool) {
 // must be nonempty. Ring events always precede overflow events: the
 // migration invariant keeps far[0].at ≥ now+ringSize while every ring
 // event lies below now+ringSize.
+//
+//simlint:hotpath
 func (e *Engine) nextEventAt() Cycle {
 	if slot, ok := e.nextBusy(e.now); ok {
 		return e.now + ((slot - (e.now & ringMask)) & ringMask)
@@ -215,6 +229,8 @@ func (e *Engine) NextAt() (at Cycle, ok bool) {
 
 // stepAt advances time to at, executes the earliest event (which must be
 // at cycle at), and returns.
+//
+//simlint:hotpath
 func (e *Engine) stepAt(at Cycle) {
 	if at != e.now {
 		e.now = at
@@ -237,6 +253,8 @@ func (e *Engine) stepAt(at Cycle) {
 
 // Step executes the earliest event, advancing time to it. It reports
 // whether an event was executed.
+//
+//simlint:hotpath
 func (e *Engine) Step() bool {
 	if e.count == 0 {
 		return false
@@ -247,6 +265,8 @@ func (e *Engine) Step() bool {
 
 // RunUntil executes events until the queue is empty or the next event
 // would be at or beyond limit. It returns the number of events executed.
+//
+//simlint:hotpath
 func (e *Engine) RunUntil(limit Cycle) uint64 {
 	var n uint64
 	for e.count > 0 {

@@ -53,7 +53,6 @@ func (c *Cache) Restore(dec *checkpoint.Decoder) error {
 	}
 	c.index = make(map[uint32]int32, c.cfg.Entries)
 	c.resetSlots()
-	c.lruHead, c.lruTail = nilSlot, nilSlot
 	for i := uint32(0); i < nPinned && dec.Err() == nil; i++ {
 		k := dec.U32()
 		c.alloc(k, dec.U8(), true)
@@ -61,6 +60,10 @@ func (c *Cache) Restore(dec *checkpoint.Decoder) error {
 	nTrans := dec.U32()
 	c.pinned = int(nPinned)
 	c.transient = int(nTrans)
+	// Pinned entries never enter the LRU list (alloc leaves their links
+	// nil), so resetting the list here — after the pinned loop, in the
+	// encoder's field order — is equivalent to resetting it up front.
+	c.lruHead, c.lruTail = nilSlot, nilSlot
 	// Written least-recent first; each push-front leaves earlier (older)
 	// entries deeper in the list, ending with the most recent at the head.
 	for i := uint32(0); i < nTrans && dec.Err() == nil; i++ {

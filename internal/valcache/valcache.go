@@ -93,8 +93,10 @@ type entry struct {
 // no heap allocation at all, which matters because every 32-bit value of
 // every verified or observed sector passes through here.
 type Cache struct {
-	cfg       Config
-	slots     []entry
+	cfg Config
+	//simlint:ignore snapsym Restore rebuilds the slot array entry-by-entry through resetSlots/alloc
+	slots []entry
+	//simlint:ignore snapsym free-slot stack is derived; resetSlots refills it before Restore replays entries
 	free      []int32 // free slot stack
 	index     map[uint32]int32
 	pinned    int
@@ -134,6 +136,8 @@ func (c *Cache) resetSlots() {
 }
 
 // alloc takes a free slot for key k with use count u.
+//
+//simlint:hotpath
 func (c *Cache) alloc(k uint32, u uint8, pinned bool) int32 {
 	i := c.free[len(c.free)-1]
 	c.free = c.free[:len(c.free)-1]
@@ -161,10 +165,13 @@ func (c *Cache) Len() int { return len(c.index) }
 func (c *Cache) PinnedLen() int { return c.pinned }
 
 // Key reduces a 32-bit value to its match key (upper 32−MaskBits bits).
+//
+//simlint:hotpath
 func (c *Cache) Key(v uint32) uint32 { return v >> uint(c.cfg.MaskBits) }
 
 // --- transient LRU list management ---
 
+//simlint:hotpath
 func (c *Cache) listRemove(i int32) {
 	e := &c.slots[i]
 	if e.prev != nilSlot {
@@ -180,6 +187,7 @@ func (c *Cache) listRemove(i int32) {
 	e.prev, e.next = nilSlot, nilSlot
 }
 
+//simlint:hotpath
 func (c *Cache) listPushFront(i int32) {
 	e := &c.slots[i]
 	e.prev, e.next = nilSlot, c.lruHead
@@ -193,6 +201,8 @@ func (c *Cache) listPushFront(i int32) {
 }
 
 // touch registers a use of slot i: LRU bump, counter bump, maybe promotion.
+//
+//simlint:hotpath
 func (c *Cache) touch(i int32) {
 	e := &c.slots[i]
 	if e.use < useMax {
@@ -215,6 +225,8 @@ func (c *Cache) touch(i int32) {
 
 // Probe looks a value up, counting the use on hit. It reports the hit and
 // whether the hit entry is pinned.
+//
+//simlint:hotpath
 func (c *Cache) Probe(v uint32) (hit, pinned bool) {
 	c.Probes++
 	i, ok := c.index[c.Key(v)]
@@ -238,6 +250,8 @@ func (c *Cache) Contains(v uint32) bool {
 // Insert records a value seen on the partition's datapath. Existing
 // entries are touched; new entries go to the transient region, evicting
 // the LRU transient entry when full.
+//
+//simlint:hotpath
 func (c *Cache) Insert(v uint32) {
 	k := c.Key(v)
 	if i, ok := c.index[k]; ok {
@@ -288,6 +302,8 @@ type VerifyResult struct {
 // sector and applies the paper's rule: every 128-bit cipher block needs at
 // least MatchThreshold of its four values to hit. Probing counts as use
 // (reads both verify against and refresh the recently-seen set).
+//
+//simlint:hotpath
 func (c *Cache) VerifySector(data []byte) VerifyResult {
 	res := VerifyResult{Verified: true, AllPinned: true}
 	if len(data)%UnitBytes != 0 || len(data) == 0 {
