@@ -123,6 +123,12 @@ type report struct {
 	EventLoopAllocsPerOp float64           `json:"event_loop_allocs_per_op"`
 	Checkpoint           *checkpointReport `json:"checkpoint,omitempty"`
 	Tamper               *tamperReport     `json:"tamper,omitempty"`
+	// ClusterLoadgen embeds a `plutusctl loadgen` summary (-loadgen
+	// flag): request latency percentiles and throughput of the
+	// distributed sweep fabric, carried verbatim so the committed
+	// baseline records the cluster serving path alongside simulation
+	// throughput.
+	ClusterLoadgen json.RawMessage `json:"cluster_loadgen,omitempty"`
 }
 
 // measureEventLoopAllocs measures steady-state allocations per
@@ -358,6 +364,7 @@ func main() {
 		maxRegr  = flag.Float64("maxregress", 0.10, "with -baseline: max fractional sim-throughput regression before failing")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof allocation profile of the sweep to this file")
+		loadgen  = flag.String("loadgen", "", "merge this `plutusctl loadgen` summary JSON into the report as cluster_loadgen")
 	)
 	flag.Parse()
 
@@ -459,6 +466,19 @@ func main() {
 	rep.Tamper = tk
 	if !tk.SeqParMatch || tk.SilentCorruption != 0 {
 		rep.AllMatch = false
+	}
+
+	if *loadgen != "" {
+		lg, err := os.ReadFile(*loadgen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsmoke: loadgen:", err)
+			os.Exit(1)
+		}
+		if !json.Valid(lg) {
+			fmt.Fprintf(os.Stderr, "benchsmoke: loadgen: %s is not valid JSON\n", *loadgen)
+			os.Exit(1)
+		}
+		rep.ClusterLoadgen = json.RawMessage(lg)
 	}
 
 	blob, err := json.MarshalIndent(&rep, "", "  ")

@@ -52,6 +52,7 @@ func main() {
 		bench    = flag.String("bench", "bfs", "benchmark name (see -list)")
 		scheme   = flag.String("scheme", "plutus", "security scheme (see -list)")
 		insts    = flag.Uint64("insts", 20000, "warp-instruction budget")
+		seed     = flag.Uint64("seed", 0, "workload seed perturbation (0 = canonical instantiation; distinct seeds are distinct runs)")
 		volta    = flag.Bool("volta", false, "full 80-SM/32-partition Volta config (slow)")
 		parallel = flag.Bool("parallel", false, "run memory partitions on parallel goroutines (bit-identical results)")
 		asJSON   = flag.Bool("json", false, "print the canonical JSON record instead of the text report")
@@ -109,7 +110,7 @@ func main() {
 	}
 
 	if *remote != "" {
-		if err := runRemote(*remote, *bench, *scheme, *insts, *asJSON); err != nil {
+		if err := runRemote(*remote, *bench, *scheme, *insts, *seed, *asJSON); err != nil {
 			fmt.Fprintln(os.Stderr, "plutussim:", err)
 			os.Exit(1)
 		}
@@ -135,7 +136,7 @@ func main() {
 		Resume:             *resume,
 		TamperPlan:         plan,
 	})
-	st, err := r.Run(*bench, sc)
+	st, err := r.RunSeeded(*bench, sc, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "plutussim:", err)
 		os.Exit(1)
@@ -154,12 +155,13 @@ func main() {
 // relays the daemon-rendered result bytes to stdout unmodified. The
 // budget travels in the request so the daemon rejects a mismatch
 // instead of returning a run simulated under different settings.
-func runRemote(base, bench, scheme string, insts uint64, asJSON bool) error {
+func runRemote(base, bench, scheme string, insts, seed uint64, asJSON bool) error {
 	ctx := context.Background()
 	c := client.New(base)
 	st, err := c.Run(ctx, server.RunRequest{
 		Benchmark:       bench,
 		Scheme:          scheme,
+		Seed:            seed,
 		MaxInstructions: insts,
 	})
 	if err != nil {

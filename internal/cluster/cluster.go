@@ -1,0 +1,484 @@
+// Package cluster is the distributed sweep fabric's coordinator: it
+// expands a (benchmark × scheme × seed) sweep into a run grid, shards
+// the grid across registered plutusd workers over the existing v1
+// HTTP/JSON API, and collects every result into a content-addressed
+// store keyed by the harness run-cache key — so any worker's bytes are
+// verifiable against a local single-box run of the same cell, and two
+// workers disagreeing on one cell is a hard determinism alarm, not a
+// silent overwrite.
+//
+// Scheduling is lease-based: a cell is leased to the least-loaded live
+// worker, and a lease that outlives its timeout is stolen — the
+// straggler's latest PLUTSNAP is pulled, installed on a second worker
+// (PUT /v1/snapshots), and the cell resubmitted there; the first
+// success wins and the loser's eventual result can only agree (the
+// store dedups identical bytes) or trip the divergence alarm. Worker
+// death is absorbed the same way: heartbeats pull in-flight cells'
+// snapshots each cycle, so a retry after a crash resumes from the last
+// checkpoint cadence instead of cycle zero. Failed attempts reschedule
+// with capped exponential backoff; per-tenant quotas bound both
+// admitted work (load shedding, surfaced as 429 upstream) and
+// concurrently leased cells, layered on plutusd's own queue
+// backpressure which the client rides out with jittered retry.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/plutus-gpu/plutus/internal/castore"
+	"github.com/plutus-gpu/plutus/internal/harness"
+	"github.com/plutus-gpu/plutus/internal/secmem"
+	"github.com/plutus-gpu/plutus/internal/server"
+	"github.com/plutus-gpu/plutus/internal/server/client"
+	"github.com/plutus-gpu/plutus/internal/workload"
+)
+
+// ErrClosed reports work submitted to a coordinator after Close.
+var ErrClosed = errors.New("cluster: coordinator closed")
+
+// OverQuotaError reports load shedding: the tenant's admitted-but-
+// unfinished cell count would exceed its pending bound. Upstream layers
+// map it to 429 with Retry-After, mirroring plutusd's own queue
+// backpressure one level up.
+type OverQuotaError struct {
+	Tenant  string
+	Pending int
+	Limit   int
+}
+
+func (e *OverQuotaError) Error() string {
+	return fmt.Sprintf("cluster: tenant %q over quota (%d pending, limit %d)", e.Tenant, e.Pending, e.Limit)
+}
+
+// Config configures a Coordinator.
+type Config struct {
+	// Workers seeds the registry with plutusd base URLs; more can join
+	// later via AddWorker (POST /v1/workers on the coordinator API).
+	Workers []string
+	// Harness is the sweep-wide harness configuration every worker is
+	// expected to run with (same MaxInstructions, ProtectedBytes and
+	// checkpoint cadence — the run-cache key, and therefore byte
+	// identity, depends on all three). The coordinator uses it to
+	// compute store keys and never simulates itself.
+	Harness harness.Config
+	// Store collects results; nil means a fresh in-memory store.
+	Store *castore.Store
+	// LeaseTimeout is how long one worker may hold a cell before the
+	// scheduler steals it onto a second worker (default 30 s).
+	LeaseTimeout time.Duration
+	// HeartbeatEvery paces worker health polls and in-flight snapshot
+	// pulls (default 1 s).
+	HeartbeatEvery time.Duration
+	// DeadAfter marks a worker dead after this many consecutive failed
+	// heartbeats (default 3); dead workers take no new leases until a
+	// heartbeat succeeds again.
+	DeadAfter int
+	// MaxAttempts bounds scheduling attempts per cell (default 4).
+	MaxAttempts int
+	// RetryBase and RetryCap pace rescheduling after a failed attempt:
+	// capped exponential, base doubling per attempt (defaults 50 ms / 2 s).
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// TenantMaxInflight caps concurrently leased cells per tenant
+	// (0 = unlimited).
+	TenantMaxInflight int
+	// TenantMaxPending sheds new admissions for a tenant whose
+	// admitted-but-unfinished count would exceed it (0 = unlimited).
+	TenantMaxPending int
+}
+
+func (c Config) withDefaults() Config {
+	if c.LeaseTimeout <= 0 {
+		c.LeaseTimeout = 30 * time.Second
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = time.Second
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 3
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 50 * time.Millisecond
+	}
+	if c.RetryCap <= 0 {
+		c.RetryCap = 2 * time.Second
+	}
+	return c
+}
+
+// worker is the coordinator's view of one plutusd instance.
+type worker struct {
+	url      string
+	c        *client.Client
+	alive    bool
+	missed   int
+	capacity int              // workers + queue depth, scraped from /debug/statsz
+	inflight int              // leases held here
+	leases   map[string]*cell // key -> leased cell
+	done     uint64           // successful leases
+}
+
+// cell is one in-flight grid cell: the single-flight unit. Identical
+// requests — same run-cache key — coalesce onto one cell regardless of
+// tenant.
+type cell struct {
+	Benchmark string
+	Scheme    string
+	Seed      uint64
+	Key       string
+	Tenant    string // admitting tenant; owns the inflight quota
+
+	done    chan struct{} // closed once settled
+	content []byte
+	digest  string
+	err     error
+}
+
+type tenant struct {
+	pending  int // admitted, unfinished admissions
+	inflight int // leased cells
+}
+
+// Counters is a snapshot of the coordinator's monotonic counters.
+type Counters struct {
+	Completed  uint64 // cells settled successfully
+	Failed     uint64 // cells settled in error (attempts exhausted or divergence)
+	Retries    uint64 // rescheduled attempts after a failure
+	Steals     uint64 // leases stolen from stragglers
+	Migrations uint64 // snapshots installed on a new worker before submit
+	Shed       uint64 // admissions refused by tenant quota
+	StoreHits  uint64 // requests served straight from the store
+}
+
+// Coordinator shards sweeps across workers. Create with New, stop with
+// Close.
+type Coordinator struct {
+	cfg   Config
+	keyer *harness.Runner
+	store *castore.Store
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	workers   map[string]*worker
+	order     []string // sorted worker URLs: deterministic tie-break
+	cells     map[string]*cell
+	sweeps    map[string]*Sweep
+	tenants   map[string]*tenant
+	snapshots map[string][]byte // key -> latest PLUTSNAP pulled on heartbeat
+	sweepSeq  int
+	closed    bool
+	counters  Counters
+
+	stopHB chan struct{}
+	hbDone chan struct{}
+}
+
+// New builds a Coordinator and starts its heartbeat loop.
+func New(cfg Config) *Coordinator {
+	cfg = cfg.withDefaults()
+	store := cfg.Store
+	if store == nil {
+		store = castore.New()
+	}
+	co := &Coordinator{
+		cfg:       cfg,
+		keyer:     harness.NewRunner(cfg.Harness),
+		store:     store,
+		workers:   map[string]*worker{},
+		cells:     map[string]*cell{},
+		sweeps:    map[string]*Sweep{},
+		tenants:   map[string]*tenant{},
+		snapshots: map[string][]byte{},
+		stopHB:    make(chan struct{}),
+		hbDone:    make(chan struct{}),
+	}
+	co.cond = sync.NewCond(&co.mu)
+	for _, url := range cfg.Workers {
+		co.AddWorker(url)
+	}
+	// One synchronous heartbeat round before the loop starts, so
+	// seed-listed workers that are already up take leases immediately
+	// instead of the first cells all piling onto whichever worker the
+	// background loop happens to probe first.
+	for _, url := range cfg.Workers {
+		co.heartbeat(url)
+	}
+	go co.heartbeatLoop()
+	return co
+}
+
+// Store returns the coordinator's result store.
+func (co *Coordinator) Store() *castore.Store { return co.store }
+
+// CacheKey exposes the store key of one grid cell under the sweep
+// config — what a local single-box verification run must be keyed by.
+func (co *Coordinator) CacheKey(bench string, sc secmem.Config, seed uint64) string {
+	return co.keyer.CacheKey(bench, sc, seed)
+}
+
+// AddWorker registers a plutusd instance by base URL. Registration is
+// idempotent; the worker starts dead and takes leases after its first
+// successful heartbeat.
+func (co *Coordinator) AddWorker(url string) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if _, ok := co.workers[url]; ok {
+		return
+	}
+	co.workers[url] = &worker{
+		url:      url,
+		c:        client.New(url),
+		capacity: 4,
+		leases:   map[string]*cell{},
+	}
+	co.order = append(co.order, url)
+	sort.Strings(co.order)
+}
+
+// WorkerStatus is the public view of one registered worker.
+type WorkerStatus struct {
+	URL       string `json:"url"`
+	Alive     bool   `json:"alive"`
+	Inflight  int    `json:"inflight"`
+	Capacity  int    `json:"capacity"`
+	Completed uint64 `json:"completed"`
+}
+
+// Workers lists registered workers in URL order.
+func (co *Coordinator) Workers() []WorkerStatus {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	out := make([]WorkerStatus, 0, len(co.order))
+	for _, url := range co.order {
+		w := co.workers[url]
+		out = append(out, WorkerStatus{
+			URL: w.url, Alive: w.alive, Inflight: w.inflight,
+			Capacity: w.capacity, Completed: w.done,
+		})
+	}
+	return out
+}
+
+// Counters returns a snapshot of the coordinator's counters.
+func (co *Coordinator) Counters() Counters {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.counters
+}
+
+// Close stops the heartbeat loop and fails all future admissions.
+// In-flight cells settle with errors as their workers disappear.
+func (co *Coordinator) Close() {
+	co.mu.Lock()
+	if co.closed {
+		co.mu.Unlock()
+		return
+	}
+	co.closed = true
+	co.cond.Broadcast()
+	co.mu.Unlock()
+	close(co.stopHB)
+	<-co.hbDone
+}
+
+// admit reserves n units of tenant pending quota, shedding when the
+// bound would be exceeded.
+func (co *Coordinator) admit(tenantName string, n int) error {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if co.closed {
+		return ErrClosed
+	}
+	t := co.tenant(tenantName)
+	if co.cfg.TenantMaxPending > 0 && t.pending+n > co.cfg.TenantMaxPending {
+		co.counters.Shed++
+		return &OverQuotaError{Tenant: tenantName, Pending: t.pending, Limit: co.cfg.TenantMaxPending}
+	}
+	t.pending += n
+	return nil
+}
+
+func (co *Coordinator) releasePending(tenantName string, n int) {
+	co.mu.Lock()
+	co.tenant(tenantName).pending -= n
+	co.mu.Unlock()
+}
+
+// tenant returns the named tenant's state, creating it. Called with
+// co.mu held.
+func (co *Coordinator) tenant(name string) *tenant {
+	t, ok := co.tenants[name]
+	if !ok {
+		t = &tenant{}
+		co.tenants[name] = t
+	}
+	return t
+}
+
+// resolve validates a cell's names against the local registries (the
+// same ones plutusd validates against) and returns its store key.
+func (co *Coordinator) resolve(bench, scheme string, seed uint64) (secmem.Config, string, error) {
+	if _, err := workload.Get(bench); err != nil {
+		return secmem.Config{}, "", err
+	}
+	sc, err := secmem.ByName(scheme, co.cfg.Harness.ProtectedBytes)
+	if err != nil {
+		return secmem.Config{}, "", err
+	}
+	return sc, co.keyer.CacheKey(bench, sc, seed), nil
+}
+
+// startCell begins (or joins) the single-flight execution of one cell.
+// A store hit returns (nil, content, digest); otherwise the returned
+// cell settles when its driver finishes.
+func (co *Coordinator) startCell(tenantName, bench, scheme, key string, seed uint64) (*cell, []byte, string) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if content, digest, err := co.storeGetLocked(key); err == nil {
+		co.counters.StoreHits++
+		return nil, content, digest
+	}
+	if c, ok := co.cells[key]; ok {
+		return c, nil, ""
+	}
+	c := &cell{
+		Benchmark: bench, Scheme: scheme, Seed: seed,
+		Key: key, Tenant: tenantName, done: make(chan struct{}),
+	}
+	co.cells[key] = c
+	go co.drive(c)
+	return c, nil, ""
+}
+
+// storeGetLocked is castore.Get without re-locking pitfalls: the store
+// has its own mutex, so calling it under co.mu is a benign nested lock
+// (never taken in the other order).
+func (co *Coordinator) storeGetLocked(key string) ([]byte, string, error) {
+	return co.store.Get(key)
+}
+
+// RunCell runs one grid cell to completion on behalf of a tenant:
+// store hits return instantly, identical concurrent requests coalesce,
+// and everything else is leased out to a worker. The returned bytes are
+// the canonical JSON rendering — byte-identical to a local single-box
+// run of the same key.
+func (co *Coordinator) RunCell(ctx context.Context, tenantName, bench, scheme string, seed uint64) ([]byte, string, error) {
+	_, key, err := co.resolve(bench, scheme, seed)
+	if err != nil {
+		return nil, "", err
+	}
+	if err := co.admit(tenantName, 1); err != nil {
+		return nil, "", err
+	}
+	defer co.releasePending(tenantName, 1)
+	c, hit, digest := co.startCell(tenantName, bench, scheme, key, seed)
+	if c == nil {
+		return hit, digest, nil
+	}
+	select {
+	case <-c.done:
+		if c.err != nil {
+			return nil, "", c.err
+		}
+		return c.content, c.digest, nil
+	case <-ctx.Done():
+		return nil, "", ctx.Err()
+	}
+}
+
+// heartbeatLoop polls every worker's /healthz on a fixed cadence,
+// scrapes /debug/statsz for capacity, and pulls the latest PLUTSNAP of
+// every cell leased to the worker — the coordinator-side half of
+// checkpoint migration: when a worker dies, the retry resumes from the
+// last pulled snapshot instead of cycle zero.
+func (co *Coordinator) heartbeatLoop() {
+	defer close(co.hbDone)
+	tick := time.NewTicker(co.cfg.HeartbeatEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-co.stopHB:
+			return
+		case <-tick.C:
+		}
+		co.mu.Lock()
+		urls := append([]string(nil), co.order...)
+		co.mu.Unlock()
+		for _, url := range urls {
+			co.heartbeat(url)
+		}
+	}
+}
+
+func (co *Coordinator) heartbeat(url string) {
+	co.mu.Lock()
+	w, ok := co.workers[url]
+	co.mu.Unlock()
+	if !ok {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), co.cfg.HeartbeatEvery)
+	defer cancel()
+	err := w.c.Health(ctx)
+	var capacity int
+	if err == nil {
+		if sz, szErr := w.c.Statsz(ctx); szErr == nil {
+			capacity = sz.Workers + sz.QueueCapacity
+		}
+	}
+
+	co.mu.Lock()
+	var leased []*cell
+	if err != nil {
+		w.missed++
+		if w.missed >= co.cfg.DeadAfter && w.alive {
+			w.alive = false
+		}
+	} else {
+		w.missed = 0
+		if !w.alive {
+			w.alive = true
+			co.cond.Broadcast()
+		}
+		if capacity > 0 {
+			w.capacity = capacity
+		}
+		for _, c := range w.leases {
+			leased = append(leased, c)
+		}
+		sort.Slice(leased, func(i, j int) bool { return leased[i].Key < leased[j].Key })
+	}
+	co.mu.Unlock()
+
+	// Pull in-flight snapshots outside the lock; each pull is best
+	// effort (ErrNoSnapshot just means the run hasn't checkpointed yet).
+	for _, c := range leased {
+		snap, serr := w.c.Snapshot(ctx, c.Benchmark, c.Scheme, c.Seed)
+		if serr == nil && len(snap) > 0 {
+			co.mu.Lock()
+			co.snapshots[c.Key] = snap
+			co.mu.Unlock()
+		}
+	}
+}
+
+// cachedSnapshot returns the latest pulled PLUTSNAP for a cell, nil if
+// none.
+func (co *Coordinator) cachedSnapshot(key string) []byte {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.snapshots[key]
+}
+
+// runRequest builds the wire request for a cell.
+func (c *cell) runRequest() server.RunRequest {
+	return server.RunRequest{Benchmark: c.Benchmark, Scheme: c.Scheme, Seed: c.Seed}
+}

@@ -161,8 +161,14 @@ func NewRunner(cfg Config) *Runner {
 // Config returns the runner's (normalized) sweep configuration.
 func (r *Runner) Config() Config { return r.cfg }
 
-func (r *Runner) key(bench string, sc secmem.Config) string {
+func (r *Runner) key(bench string, sc secmem.Config, seed uint64) string {
 	k := fmt.Sprintf("%s|%s|%d|%d", bench, sc.Scheme, r.cfg.MaxInstructions, sc.ProtectedBytes)
+	if seed != 0 {
+		// Seed zero is the canonical workload instantiation (workload.Get);
+		// omitting it keeps every pre-seed cache key, snapshot filename,
+		// and golden fixture stable.
+		k += fmt.Sprintf("|seed=%d", seed)
+	}
 	if r.cfg.CheckpointEvery > 0 {
 		// Checkpoint drains perturb timing; keep cadenced runs in their
 		// own cache lineage (and their own snapshot files).
@@ -176,11 +182,28 @@ func (r *Runner) key(bench string, sc secmem.Config) string {
 	return k
 }
 
+// CacheKey returns the run-cache key of one grid cell under this
+// runner's configuration — the string the cluster's content-addressed
+// result store indexes by, so a worker's bytes and a local single-box
+// run of the same cell land on the same address.
+func (r *Runner) CacheKey(bench string, sc secmem.Config, seed uint64) string {
+	sc.ProtectedBytes = r.cfg.ProtectedBytes
+	return r.key(bench, sc, seed)
+}
+
 // SnapshotPath returns the snapshot file a given run reads and writes:
 // the run key with filesystem-hostile characters replaced.
 func (r *Runner) SnapshotPath(bench string, sc secmem.Config) string {
+	return r.SnapshotPathSeeded(bench, sc, 0)
+}
+
+// SnapshotPathSeeded is SnapshotPath for a seed-perturbed run: seeded
+// runs park in their own snapshot files, which is what lets a cluster
+// coordinator migrate one grid cell's PLUTSNAP between workers without
+// colliding with the canonical seed-zero lineage.
+func (r *Runner) SnapshotPathSeeded(bench string, sc secmem.Config, seed uint64) string {
 	sc.ProtectedBytes = r.cfg.ProtectedBytes
-	name := strings.NewReplacer("|", "_", "/", "_").Replace(r.key(bench, sc))
+	name := strings.NewReplacer("|", "_", "/", "_").Replace(r.key(bench, sc, seed))
 	return filepath.Join(r.cfg.CheckpointDir, name+".ckpt")
 }
 
@@ -202,11 +225,26 @@ func (r *Runner) Run(bench string, sc secmem.Config) (*stats.Stats, error) {
 // RunContext is safe for concurrent use; plutusd's worker pool calls it
 // from many goroutines.
 func (r *Runner) RunContext(ctx context.Context, bench string, sc secmem.Config) (*stats.Stats, error) {
+	return r.RunSeededContext(ctx, bench, sc, 0)
+}
+
+// RunSeeded is Run for a seed-perturbed workload instantiation (seed
+// zero matches Run exactly; see workload.GetSeeded). The seed is a full
+// cache-key dimension: distinct seeds are distinct runs with their own
+// single-flight entries and snapshot files.
+func (r *Runner) RunSeeded(bench string, sc secmem.Config, seed uint64) (*stats.Stats, error) {
+	return r.RunSeededContext(context.Background(), bench, sc, seed)
+}
+
+// RunSeededContext is RunContext over the full (benchmark, scheme, seed)
+// grid cell — the unit the distributed sweep fabric shards, steals, and
+// content-addresses cluster-wide.
+func (r *Runner) RunSeededContext(ctx context.Context, bench string, sc secmem.Config, seed uint64) (*stats.Stats, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	sc.ProtectedBytes = r.cfg.ProtectedBytes
-	k := r.key(bench, sc)
+	k := r.key(bench, sc, seed)
 
 	r.mu.Lock()
 	r.lookups++
@@ -239,7 +277,7 @@ func (r *Runner) RunContext(ctx context.Context, bench string, sc secmem.Config)
 	r.mu.Lock()
 	r.executions++
 	r.mu.Unlock()
-	st, err := r.simulate(ctx, bench, sc)
+	st, err := r.simulate(ctx, bench, sc, seed)
 	<-r.sem
 	if errors.Is(err, checkpoint.ErrPreempted) {
 		// The run parked itself in its snapshot file; drop the cache entry
@@ -257,8 +295,8 @@ func (r *Runner) RunContext(ctx context.Context, bench string, sc secmem.Config)
 // existing snapshot when Config.Resume is set, honors ctx cancellation
 // at checkpoint boundaries by parking the run with ErrPreempted, and
 // deletes the snapshot once the run completes.
-func (r *Runner) simulate(ctx context.Context, bench string, sc secmem.Config) (*stats.Stats, error) {
-	wl, err := workload.Get(bench)
+func (r *Runner) simulate(ctx context.Context, bench string, sc secmem.Config, seed uint64) (*stats.Stats, error) {
+	wl, err := workload.GetSeeded(bench, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -279,7 +317,7 @@ func (r *Runner) simulate(ctx context.Context, bench string, sc secmem.Config) (
 		if r.cfg.CheckpointDir == "" {
 			return nil, fmt.Errorf("harness: %s/%s: CheckpointEvery set without CheckpointDir", bench, sc.Scheme)
 		}
-		snapPath = r.SnapshotPath(bench, sc)
+		snapPath = r.SnapshotPathSeeded(bench, sc, seed)
 		if r.cfg.Resume {
 			if data, rerr := os.ReadFile(snapPath); rerr == nil {
 				g, err = gpusim.ResumeSnapshot(gcfg, wl, data)

@@ -125,8 +125,8 @@ func TestTamperPlanCacheKey(t *testing.T) {
 	sc := secmem.Plutus(0)
 	sc.ProtectedBytes = benign.Config().ProtectedBytes
 
-	kBenign := benign.key("stream", sc)
-	kAttack := attacked.key("stream", sc)
+	kBenign := benign.key("stream", sc, 0)
+	kAttack := attacked.key("stream", sc, 0)
 	if kBenign == kAttack {
 		t.Errorf("benign and attacked runs share cache key %q", kBenign)
 	}
@@ -134,11 +134,11 @@ func TestTamperPlanCacheKey(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	kOther := NewRunner(Config{Benchmarks: []string{"stream"}, TamperPlan: other}).key("stream", sc)
+	kOther := NewRunner(Config{Benchmarks: []string{"stream"}, TamperPlan: other}).key("stream", sc, 0)
 	if kOther == kAttack {
 		t.Errorf("different plans share cache key %q", kAttack)
 	}
-	same := NewRunner(Config{Benchmarks: []string{"stream"}, TamperPlan: testPlan(t)}).key("stream", sc)
+	same := NewRunner(Config{Benchmarks: []string{"stream"}, TamperPlan: testPlan(t)}).key("stream", sc, 0)
 	if same != kAttack {
 		t.Errorf("identical plans disagree on cache key: %q vs %q", same, kAttack)
 	}

@@ -33,6 +33,22 @@ func TestServerAllowed(t *testing.T) {
 	analysistest.Run(t, rawconc.Analyzer, "internal/server")
 }
 
+// TestClusterAllowed: the sweep-fabric coordinator is allowlisted — its
+// lease races, steal fan-out, and heartbeat collection are network
+// orchestration with no simulation state, so none of its primitives are
+// flagged.
+func TestClusterAllowed(t *testing.T) {
+	analysistest.Run(t, rawconc.Analyzer, "internal/cluster")
+}
+
+// TestCastoreFlagged: the content-addressed result store arbitrates
+// byte-identity and stays off the allowlist even though it sits beside
+// the allowlisted internal/cluster — it synchronizes with a mutex
+// (legal everywhere) and any raw goroutine or channel is flagged.
+func TestCastoreFlagged(t *testing.T) {
+	analysistest.Run(t, rawconc.Analyzer, "internal/castore")
+}
+
 // TestCommandFlagged: under the module-wide default-deny scope, a cmd/
 // package off the allowlist is still flagged — commands parallelize
 // through the harness, not with their own goroutines.

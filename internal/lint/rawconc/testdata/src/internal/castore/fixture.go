@@ -1,0 +1,27 @@
+// Fixture: internal/castore is deliberately OFF the rawconc allowlist
+// even though it sits beside the allowlisted internal/cluster — the
+// content-addressed store arbitrates byte-identity (divergence
+// detection, index persistence) and must stay free of raw concurrency;
+// a background persist goroutine could interleave index.jsonl records
+// with a divergence check. It synchronizes with a plain mutex instead,
+// which rawconc permits everywhere.
+package castore
+
+func parallelVerify(digests []string) []string {
+	bad := make(chan string, len(digests)) // want `make\(chan\) in determinism-scoped package internal/castore`
+	for _, d := range digests {
+		d := d
+		go func() { // want `go statement in determinism-scoped package internal/castore`
+			bad <- d // want `raw channel send in determinism-scoped package internal/castore`
+		}()
+	}
+	var out []string
+	for range digests {
+		out = append(out, <-bad) // want `raw channel receive in determinism-scoped package internal/castore`
+	}
+	return out
+}
+
+func suppressed(done chan struct{}) {
+	<-done //simlint:ignore rawconc test-only completion latch, no index records flow here
+}

@@ -1,0 +1,36 @@
+// Fixture: internal/cluster is on the rawconc allowlist — the
+// coordinator's leases, steals, and heartbeats are network
+// orchestration over plutusd's HTTP API, and no simulation state lives
+// here. Every primitive below must pass without a diagnostic.
+package cluster
+
+func stealRace() {
+	primary := make(chan []byte, 1)
+	secondary := make(chan []byte, 1)
+	go func() {
+		primary <- []byte("result")
+	}()
+	go func() {
+		secondary <- []byte("result")
+	}()
+	select {
+	case r := <-primary:
+		_ = r
+	case r := <-secondary:
+		_ = r
+	}
+}
+
+func heartbeatFanIn(workers []string) {
+	beats := make(chan string)
+	for _, w := range workers {
+		w := w
+		go func() {
+			beats <- w
+		}()
+	}
+	for range workers {
+		<-beats
+	}
+	close(beats)
+}

@@ -92,8 +92,10 @@ func DetRand(pkgPath string) bool {
 var rawConcAllowed = []string{
 	"internal/sim",
 	"internal/harness",
-	"internal/server", // covers internal/server/client
+	"internal/server",  // covers internal/server/client
+	"internal/cluster", // coordinator: leases, steals and heartbeats are network orchestration, not simulation
 	"cmd/plutusd",
+	"cmd/plutusctl", // cluster CLI: loadgen fan-out and signal handling
 	"internal/lint/loader",
 	"internal/lint/simlint",
 }

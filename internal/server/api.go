@@ -16,13 +16,20 @@
 //	GET  /v1/benchmarks           workload names
 //	GET  /healthz                 liveness
 //	GET  /debug/statsz            queue/worker/cache snapshot
+//	GET  /metrics                 Prometheus text exposition of the statsz counters
+//	GET  /v1/snapshots            latest PLUTSNAP for a (benchmark, scheme, seed) cell
+//	PUT  /v1/snapshots            install a migrated PLUTSNAP before resubmitting its run
 //
 // Results are rendered by the same internal/harness functions the CLI
 // uses (Report, WriteRunJSON, WriteRunCSV), so bytes fetched over the
 // wire are identical to the bytes `plutussim` prints for the same run.
 package server
 
-import "github.com/plutus-gpu/plutus/internal/stats"
+import (
+	"fmt"
+
+	"github.com/plutus-gpu/plutus/internal/stats"
+)
 
 // RunRequest is the POST /v1/runs body.
 type RunRequest struct {
@@ -30,10 +37,28 @@ type RunRequest struct {
 	Benchmark string `json:"benchmark"`
 	// Scheme is a secmem.ByName scheme (see GET /v1/schemes).
 	Scheme string `json:"scheme"`
+	// Seed perturbs the workload instantiation (zero = the canonical
+	// one; see workload.GetSeeded). Distinct seeds are distinct runs
+	// with their own dedup keys and snapshot files. Requires a
+	// seed-aware Backend; a daemon without one rejects nonzero seeds
+	// with 400.
+	Seed uint64 `json:"seed,omitempty"`
 	// MaxInstructions, when nonzero, asserts the daemon's per-run
 	// budget; a mismatch is rejected with 400 so a client never
 	// silently compares results simulated under a different budget.
 	MaxInstructions uint64 `json:"max_instructions,omitempty"`
+}
+
+// Key returns the request's dedup key: the (benchmark, scheme, seed)
+// cell identity, mirroring the harness run-cache key inputs the daemon
+// controls (budget and protected range are daemon-wide). Seed zero is
+// omitted so every pre-seed key stays stable.
+func (r RunRequest) Key() string {
+	k := r.Benchmark + "|" + r.Scheme
+	if r.Seed != 0 {
+		k += fmt.Sprintf("|seed=%d", r.Seed)
+	}
+	return k
 }
 
 // State is a job's lifecycle position.
@@ -56,6 +81,7 @@ type RunStatus struct {
 	ID        string `json:"id"`
 	Benchmark string `json:"benchmark"`
 	Scheme    string `json:"scheme"`
+	Seed      uint64 `json:"seed,omitempty"`
 	State     State  `json:"state"`
 	// Deduped is set on a submit response when an identical run was
 	// already queued or running and that job was returned instead of
@@ -112,4 +138,7 @@ type Statsz struct {
 	Draining        bool         `json:"draining"`
 	MaxInstructions uint64       `json:"max_instructions"`
 	Cache           *CacheStatsz `json:"cache,omitempty"`
+	// CompletedByScheme counts successfully completed runs per scheme
+	// (encoding/json sorts map keys, so the rendering is deterministic).
+	CompletedByScheme map[string]uint64 `json:"completed_by_scheme,omitempty"`
 }

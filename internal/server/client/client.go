@@ -13,7 +13,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"math/rand/v2"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -26,6 +30,74 @@ type Client struct {
 	hc   *http.Client
 	// PollInterval paces the polling fallback of Wait (default 100 ms).
 	PollInterval time.Duration
+	// Backoff paces 429 retries in SubmitRetry/Run. The zero value uses
+	// DefaultBackoff.
+	Backoff Backoff
+}
+
+// Backoff is the capped, jittered exponential retry policy the client
+// applies when the daemon answers 429. The server's Retry-After advice
+// is the floor of each wait; the exponential term takes over when the
+// advice stays optimistic under sustained saturation, and the cap keeps
+// a long-saturated queue from pushing waits beyond tail-latency budgets.
+type Backoff struct {
+	// Base is the first retry's wait before jitter (default 100 ms).
+	Base time.Duration
+	// Cap bounds every wait, advice included (default 5 s).
+	Cap time.Duration
+	// Factor multiplies the wait per attempt (default 2).
+	Factor float64
+	// MaxAttempts bounds the number of submissions; past it the last
+	// QueueFullError is returned. Zero means retry until the context
+	// cancels — the caller owns the deadline.
+	MaxAttempts int
+	// Jitter, when set, perturbs a computed wait (tests inject a fixed
+	// function). Nil uses the default ±25% spread, which decorrelates a
+	// thundering herd of clients all told to retry after the same advice.
+	Jitter func(time.Duration) time.Duration
+}
+
+// DefaultBackoff is the policy used when Client.Backoff is zero.
+var DefaultBackoff = Backoff{Base: 100 * time.Millisecond, Cap: 5 * time.Second, Factor: 2}
+
+func (b Backoff) normalize() Backoff {
+	d := DefaultBackoff
+	if b.Base <= 0 {
+		b.Base = d.Base
+	}
+	if b.Cap <= 0 {
+		b.Cap = d.Cap
+	}
+	if b.Factor < 1 {
+		b.Factor = d.Factor
+	}
+	return b
+}
+
+// wait computes attempt's sleep (0-based): the larger of the server's
+// advice and the exponential term, capped, then jittered.
+func (b Backoff) wait(attempt int, advice time.Duration) time.Duration {
+	w := time.Duration(float64(b.Base) * math.Pow(b.Factor, float64(attempt)))
+	if w <= 0 || w > b.Cap { // <= 0: float→int64 overflow of the exponential term
+		w = b.Cap
+	}
+	if w < advice {
+		w = advice
+	}
+	if w > b.Cap {
+		w = b.Cap
+	}
+	if b.Jitter != nil {
+		w = b.Jitter(w)
+	} else {
+		// ±25%, full-jitter style: rand here is load-spreading, not
+		// simulation state — the client is outside the determinism scope.
+		w = w/2 + w/4 + time.Duration(rand.Int64N(int64(w/2)+1))
+	}
+	if w > b.Cap {
+		w = b.Cap
+	}
+	return w
 }
 
 // New returns a Client for the daemon at base (e.g. "http://127.0.0.1:8091").
@@ -239,22 +311,121 @@ func (c *Client) Wait(ctx context.Context, id string) (server.RunStatus, error) 
 	}
 }
 
-// Run is the one-shot convenience: submit (retrying while the queue is
-// full, as the Retry-After advice directs) and wait for completion.
-func (c *Client) Run(ctx context.Context, req server.RunRequest) (server.RunStatus, error) {
-	for {
+// SubmitRetry submits one run, absorbing 429 backpressure: each
+// rejection waits out the larger of the daemon's Retry-After advice and
+// the policy's capped exponential term (jittered so herds decorrelate),
+// then resubmits. It returns on acceptance, on any non-429 error, when
+// ctx cancels, or after Backoff.MaxAttempts submissions.
+func (c *Client) SubmitRetry(ctx context.Context, req server.RunRequest) (server.RunStatus, error) {
+	b := c.Backoff.normalize()
+	for attempt := 0; ; attempt++ {
 		st, err := c.Submit(ctx, req)
-		if err == nil {
-			return c.Wait(ctx, st.ID)
-		}
 		var full *QueueFullError
-		if !errors.As(err, &full) {
+		if err == nil || !errors.As(err, &full) {
+			return st, err
+		}
+		if b.MaxAttempts > 0 && attempt+1 >= b.MaxAttempts {
 			return st, err
 		}
 		select {
-		case <-time.After(full.RetryAfter):
+		case <-time.After(b.wait(attempt, full.RetryAfter)):
 		case <-ctx.Done():
 			return st, ctx.Err()
 		}
 	}
+}
+
+// Run is the one-shot convenience: submit (riding out 429 backpressure
+// through SubmitRetry's capped jittered backoff) and wait for
+// completion.
+func (c *Client) Run(ctx context.Context, req server.RunRequest) (server.RunStatus, error) {
+	st, err := c.SubmitRetry(ctx, req)
+	if err != nil {
+		return st, err
+	}
+	return c.Wait(ctx, st.ID)
+}
+
+// ErrNoSnapshot reports that the daemon holds no PLUTSNAP for the
+// requested cell — the run never checkpointed, or completed and retired
+// its snapshot.
+var ErrNoSnapshot = errors.New("plutusd: no snapshot for this cell")
+
+func snapshotQuery(bench, scheme string, seed uint64) string {
+	q := url.Values{}
+	q.Set("benchmark", bench)
+	q.Set("scheme", scheme)
+	if seed != 0 {
+		q.Set("seed", strconv.FormatUint(seed, 10))
+	}
+	return "/v1/snapshots?" + q.Encode()
+}
+
+// Snapshot fetches the daemon's latest PLUTSNAP for one grid cell.
+// A missing snapshot surfaces as ErrNoSnapshot.
+func (c *Client) Snapshot(ctx context.Context, bench, scheme string, seed uint64) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+snapshotQuery(bench, scheme, seed), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, ErrNoSnapshot
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp, blob)
+	}
+	return blob, nil
+}
+
+// PutSnapshot installs a migrated PLUTSNAP on the daemon so a
+// subsequent submission of the same cell resumes from it.
+func (c *Client) PutSnapshot(ctx context.Context, bench, scheme string, seed uint64, data []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.base+snapshotQuery(bench, scheme, seed), bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp, blob)
+	}
+	return nil
+}
+
+// MetricsText fetches the daemon's /metrics Prometheus exposition raw.
+func (c *Client) MetricsText(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", apiError(resp, blob)
+	}
+	return string(blob), nil
 }

@@ -90,6 +90,7 @@ func (j *job) snapshot() RunStatus {
 		ID:        j.id,
 		Benchmark: j.req.Benchmark,
 		Scheme:    j.sc.Scheme,
+		Seed:      j.req.Seed,
 		State:     j.state,
 		Stats:     j.st,
 	}

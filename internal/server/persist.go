@@ -93,7 +93,7 @@ func recoverState(dir string, protectedBytes uint64) (settled, pending []*job, m
 		if serr != nil {
 			return nil, nil, 0, fmt.Errorf("state record %s: %w", p.ID, serr)
 		}
-		j := newJob(p.ID, p.Request, sc, p.Request.Benchmark+"|"+p.Request.Scheme)
+		j := newJob(p.ID, p.Request, sc, p.Request.Key())
 		switch p.State {
 		case StateDone:
 			j.complete(p.Stats)

@@ -33,6 +33,23 @@ type metricsBackend interface {
 	Metrics() harness.Metrics
 }
 
+// SeedBackend is the seed-aware side of a Backend (implemented by
+// *harness.Runner): it runs a seed-perturbed workload instantiation.
+// A daemon whose Backend lacks it rejects nonzero RunRequest.Seed
+// values at submit time.
+type SeedBackend interface {
+	RunSeededContext(ctx context.Context, bench string, sc secmem.Config, seed uint64) (*stats.Stats, error)
+}
+
+// snapshotBackend is the checkpoint-introspection side of a Backend
+// (implemented by *harness.Runner). It is what lets the snapshot
+// endpoints locate a run's PLUTSNAP file for cluster-wide
+// checkpoint migration.
+type snapshotBackend interface {
+	SnapshotPathSeeded(bench string, sc secmem.Config, seed uint64) string
+	Config() harness.Config
+}
+
 // Config parameterizes a Server.
 type Config struct {
 	// Backend runs simulations. Required.
@@ -78,11 +95,12 @@ type Server struct {
 	draining bool
 
 	// lifetime counters for /debug/statsz, also guarded by mu
-	accepted  uint64
-	deduped   uint64
-	rejected  uint64
-	completed uint64
-	failed    uint64
+	accepted          uint64
+	deduped           uint64
+	rejected          uint64
+	completed         uint64
+	failed            uint64
+	completedByScheme map[string]uint64
 }
 
 // New builds a Server and starts its worker pool.
@@ -118,11 +136,12 @@ func New(cfg Config) *Server {
 		depth = len(requeue)
 	}
 	s := &Server{
-		cfg:     cfg,
-		queue:   make(chan *job, depth),
-		jobs:    make(map[string]*job),
-		pending: make(map[string]*job),
-		nextID:  maxID,
+		cfg:               cfg,
+		queue:             make(chan *job, depth),
+		jobs:              make(map[string]*job),
+		pending:           make(map[string]*job),
+		nextID:            maxID,
+		completedByScheme: make(map[string]uint64),
 	}
 	for _, j := range settled {
 		s.jobs[j.id] = j
@@ -130,6 +149,7 @@ func New(cfg Config) *Server {
 			s.failed++
 		} else {
 			s.completed++
+			s.completedByScheme[j.sc.Scheme]++
 		}
 	}
 	for _, j := range requeue {
@@ -182,6 +202,7 @@ func (s *Server) worker() {
 				s.failed++
 			} else {
 				s.completed++
+				s.completedByScheme[j.sc.Scheme]++
 			}
 			s.mu.Unlock()
 			if err != nil {
@@ -205,6 +226,11 @@ func (s *Server) runSlice(j *job) (*stats.Stats, error) {
 		defer cancel()
 	}
 	j.transition(StateRunning, "simulation started")
+	if j.req.Seed != 0 {
+		// Submit-time validation guarantees the assertion: a nonzero
+		// seed is only ever accepted when the backend is seed-aware.
+		return s.cfg.Backend.(SeedBackend).RunSeededContext(ctx, j.req.Benchmark, j.sc, j.req.Seed)
+	}
 	return s.cfg.Backend.RunContext(ctx, j.req.Benchmark, j.sc)
 }
 
@@ -258,6 +284,9 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /debug/statsz", s.handleStatsz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/snapshots", s.handleSnapshotGet)
+	mux.HandleFunc("PUT /v1/snapshots", s.handleSnapshotPut)
 	return mux
 }
 
@@ -303,7 +332,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			req.MaxInstructions, s.cfg.MaxInstructions)})
 		return
 	}
-	key := req.Benchmark + "|" + req.Scheme
+	if req.Seed != 0 {
+		if _, ok := s.cfg.Backend.(SeedBackend); !ok {
+			writeError(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf(
+				"seed %d rejected: this daemon's backend is not seed-aware", req.Seed)})
+			return
+		}
+	}
+	key := req.Key()
 
 	s.mu.Lock()
 	if s.draining {
@@ -464,6 +500,12 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Failed:          s.failed,
 		Draining:        s.draining,
 		MaxInstructions: s.cfg.MaxInstructions,
+	}
+	if len(s.completedByScheme) > 0 {
+		sz.CompletedByScheme = make(map[string]uint64, len(s.completedByScheme))
+		for k, v := range s.completedByScheme {
+			sz.CompletedByScheme[k] = v
+		}
 	}
 	s.mu.Unlock()
 	if mb, ok := s.cfg.Backend.(metricsBackend); ok {
