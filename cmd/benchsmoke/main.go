@@ -52,6 +52,7 @@ import (
 	"github.com/plutus-gpu/plutus/internal/sim"
 	"github.com/plutus-gpu/plutus/internal/stats"
 	"github.com/plutus-gpu/plutus/internal/tamper"
+	"github.com/plutus-gpu/plutus/internal/trace"
 	"github.com/plutus-gpu/plutus/internal/workload"
 )
 
@@ -99,6 +100,23 @@ type tamperReport struct {
 	SeqParMatch      bool   `json:"seq_par_match"`
 }
 
+// traceReport records the trace pipeline's cost on one captured run:
+// trace size on disk, capture overhead versus the plain sweep, the
+// streaming reader's resident-record high-water mark, replay
+// throughput, and whether the replayed run reproduced the capture
+// run's statistics exactly (the replay guarantee).
+type traceReport struct {
+	Benchmark           string  `json:"benchmark"`
+	Scheme              string  `json:"scheme"`
+	TraceBytes          int64   `json:"trace_bytes"`
+	Records             uint64  `json:"records"`
+	CaptureNs           int64   `json:"capture_ns"`
+	ReplayNs            int64   `json:"replay_ns"`
+	ReplayRecordsPerSec float64 `json:"replay_records_per_sec"`
+	MaxResidentRecords  int     `json:"max_resident_records"`
+	ReplayMatch         bool    `json:"replay_match"`
+}
+
 // report is the BENCH_ci.json schema.
 type report struct {
 	// Note is free-text provenance for committed baselines: what the
@@ -123,6 +141,7 @@ type report struct {
 	EventLoopAllocsPerOp float64           `json:"event_loop_allocs_per_op"`
 	Checkpoint           *checkpointReport `json:"checkpoint,omitempty"`
 	Tamper               *tamperReport     `json:"tamper,omitempty"`
+	Trace                *traceReport      `json:"trace,omitempty"`
 	// ClusterLoadgen embeds a `plutusctl loadgen` summary (-loadgen
 	// flag): request latency percentiles and throughput of the
 	// distributed sweep fabric, carried verbatim so the committed
@@ -273,6 +292,81 @@ func measureCheckpoint(bench string, sc secmem.Config, insts uint64) (*checkpoin
 	if !rep.ResumeMatch {
 		fmt.Fprintf(os.Stderr, "benchsmoke: RESUME DIVERGENCE %s/%s:\nref:     %+v\nresumed: %+v\n",
 			bench, sc.Scheme, *ref, *resumed)
+	}
+	return rep, nil
+}
+
+// measureTraceReplay captures bench/sc into a PLTR-v2 trace on disk,
+// replays the trace through a fresh simulation, and requires the replay
+// to reproduce the capture run's statistics exactly. The streaming
+// reader's resident-record high-water mark is reported so the
+// bounded-memory property is tracked run over run, and records/sec of
+// the replay is the trajectory throughput number for the trace path.
+func measureTraceReplay(bench string, sc secmem.Config, insts uint64) (*traceReport, error) {
+	cfg := gpusim.ScaledConfig(sc)
+	cfg.Sec.ProtectedBytes = protected
+	cfg.MaxInstructions = insts
+
+	wl, err := workload.Get(bench)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "benchsmoke-trace-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "run.pltr")
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	ref, err := trace.Capture(cfg, wl, f)
+	captureNs := time.Since(start).Nanoseconds()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+
+	rp, err := trace.OpenReplay("trace:"+path, path)
+	if err != nil {
+		return nil, err
+	}
+	g, err := gpusim.New(cfg, rp)
+	if err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	st := g.Run()
+	replayNs := time.Since(start).Nanoseconds()
+
+	rep := &traceReport{
+		Benchmark:          bench,
+		Scheme:             sc.Scheme,
+		TraceBytes:         fi.Size(),
+		Records:            rp.TotalRecords(),
+		CaptureNs:          captureNs,
+		ReplayNs:           replayNs,
+		MaxResidentRecords: rp.MaxResidentRecords(),
+	}
+	if replayNs > 0 {
+		rep.ReplayRecordsPerSec = float64(rep.Records) / (float64(replayNs) / 1e9)
+	}
+	// Replay runs under a different benchmark name ("trace:<path>"); that
+	// is the only field allowed to differ from the capture run.
+	a, b := *ref, *st
+	a.Benchmark, b.Benchmark = "", ""
+	rep.ReplayMatch = a == b
+	if !rep.ReplayMatch {
+		fmt.Fprintf(os.Stderr, "benchsmoke: TRACE REPLAY DIVERGENCE %s/%s:\ncapture: %+v\nreplay:  %+v\n",
+			bench, sc.Scheme, *ref, *st)
 	}
 	return rep, nil
 }
@@ -468,6 +562,19 @@ func main() {
 		rep.AllMatch = false
 	}
 
+	// Trace micro-benchmark on the same representative run: capture the
+	// issued stream, replay it streaming from disk, and require the
+	// replay to reproduce the capture run exactly.
+	tr, err := measureTraceReplay(benchList[0], scs[len(scs)-1], *insts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsmoke: trace:", err)
+		os.Exit(1)
+	}
+	rep.Trace = tr
+	if !tr.ReplayMatch {
+		rep.AllMatch = false
+	}
+
 	if *loadgen != "" {
 		lg, err := os.ReadFile(*loadgen)
 		if err != nil {
@@ -501,6 +608,9 @@ func main() {
 	fmt.Printf("benchsmoke: tamper %s/%s: plan %s, %d ops (expand %s), tainted reads %d, detected %d, silent %d, seq/par match=%v\n",
 		tk.Benchmark, tk.Scheme, tk.PlanFingerprint, tk.Ops, time.Duration(tk.ExpandNs),
 		tk.TaintedReads, tk.Detected, tk.SilentCorruption, tk.SeqParMatch)
+	fmt.Printf("benchsmoke: trace %s/%s: %d records in %d B, capture %s, replay %s (%.0f records/s, %d resident max), replay match=%v\n",
+		tr.Benchmark, tr.Scheme, tr.Records, tr.TraceBytes, time.Duration(tr.CaptureNs),
+		time.Duration(tr.ReplayNs), tr.ReplayRecordsPerSec, tr.MaxResidentRecords, tr.ReplayMatch)
 
 	if !rep.AllMatch {
 		os.Exit(1)

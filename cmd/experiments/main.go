@@ -43,7 +43,7 @@ func main() {
 	if *benches != "" {
 		cfg.Benchmarks = strings.Split(*benches, ",")
 	} else {
-		cfg.Benchmarks = workload.Names()
+		cfg.Benchmarks = workload.SuiteNames()
 	}
 	r := harness.NewRunner(cfg)
 

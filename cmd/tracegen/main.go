@@ -1,87 +1,188 @@
-// Command tracegen captures a synthetic benchmark's memory-instruction
-// stream into the binary trace format, or inspects an existing trace.
+// Command tracegen captures a workload's issued instruction stream into
+// a PLTR-v2 trace, lists the scenario corpus, or inspects an existing
+// trace file.
 //
-// Usage:
+// Capture runs the workload through the real simulator with an issue
+// tap, so the trace is the stream an actual run issued — not an
+// approximation — and the run's stats double as the replay reference.
+// Captured traces replay anywhere a benchmark name is accepted via the
+// `trace:<path>` workload namespace:
 //
 //	tracegen -bench bfs -insts 100000 -o bfs.pltr
+//	tracegen -scenario scn-dnn-infer -o dnn.pltr
+//	tracegen -scenario list
+//	tracegen -seed 7 -bench bfs -o bfs-7.pltr
 //	tracegen -inspect bfs.pltr
+//	plutussim -bench trace:bfs.pltr -scheme plutus
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"text/tabwriter"
 
 	"github.com/plutus-gpu/plutus/internal/gpusim"
+	"github.com/plutus-gpu/plutus/internal/harness"
+	"github.com/plutus-gpu/plutus/internal/secmem"
 	"github.com/plutus-gpu/plutus/internal/trace"
+	"github.com/plutus-gpu/plutus/internal/trace/scenario"
 	"github.com/plutus-gpu/plutus/internal/workload"
 )
 
 func main() {
 	var (
-		bench   = flag.String("bench", "bfs", "benchmark to capture")
-		insts   = flag.Int("insts", 100000, "instructions to capture")
+		bench   = flag.String("bench", "bfs", "workload to capture (suite, scenario, or trace:<path>)")
+		scen    = flag.String("scenario", "", "capture a scenario-corpus workload; \"list\" prints the corpus and exits")
+		seed    = flag.Uint64("seed", 0, "workload seed perturbation (0 = canonical instantiation)")
+		scheme  = flag.String("scheme", "plutus", "security scheme the capture run executes under")
+		insts   = flag.Uint64("insts", 100000, "warp-instruction budget of the capture run")
 		out     = flag.String("o", "", "output trace path (default <bench>.pltr)")
-		inspect = flag.String("inspect", "", "print a summary of an existing trace and exit")
+		inspect = flag.String("inspect", "", "print header/chunk/index stats of an existing trace and exit")
+		report  = flag.Bool("report", false, "print the capture run's stats report after writing the trace")
 	)
 	flag.Parse()
 
-	if *inspect != "" {
-		if err := inspectTrace(*inspect); err != nil {
-			fmt.Fprintln(os.Stderr, "tracegen:", err)
-			os.Exit(1)
-		}
-		return
-	}
-
-	wl, err := workload.Get(*bench)
-	if err != nil {
+	if err := run(*bench, *scen, *scheme, *out, *inspect, *seed, *insts, *report); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
-	tr := trace.Capture(wl, *insts)
-	path := *out
-	if path == "" {
-		path = *bench + ".pltr"
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
-	}
-	defer f.Close()
-	if err := tr.Write(f); err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
-	}
-	fmt.Printf("captured %d records (%d warps) from %s into %s\n",
-		len(tr.Records), tr.Warps, *bench, path)
 }
 
+func run(bench, scen, scheme, out, inspect string, seed, insts uint64, report bool) error {
+	if inspect != "" {
+		return inspectTrace(inspect)
+	}
+	if scen == "list" {
+		return listScenarios()
+	}
+	if scen != "" {
+		bench = scen
+	}
+
+	wl, err := workload.GetSeeded(bench, seed)
+	if err != nil {
+		return err
+	}
+	const protected = 128 << 20
+	sc, err := secmem.ByName(scheme, protected)
+	if err != nil {
+		return err
+	}
+	cfg := gpusim.ScaledConfig(sc)
+	cfg.Sec.ProtectedBytes = protected
+	cfg.MaxInstructions = insts
+
+	path := out
+	if path == "" {
+		path = bench + ".pltr"
+	}
+	// Stream through a temp file and rename, so a crashed capture never
+	// leaves a valid-looking partial trace at the final path.
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	st, err := trace.Capture(cfg, wl, f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	fmt.Printf("captured %d instructions (%d warps, %d cycles) from %s under %s into %s\n",
+		st.Instructions, wl.Warps(), st.Cycles, bench, scheme, path)
+	if report {
+		fmt.Print(harness.Report(st, sc))
+	}
+	return nil
+}
+
+func listScenarios() error {
+	tw := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "NAME\tWARPS\tINSTS/WARP\tDESCRIPTION")
+	for _, name := range scenario.Names() {
+		info, _ := scenario.Describe(name)
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\n", info.Name, info.Warps, info.InstsPerWarp, info.Desc)
+	}
+	return tw.Flush()
+}
+
+// inspectTrace prints the v2 header, per-warp chunk index, and record
+// mix without ever materializing the whole trace.
 func inspectTrace(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	tr, err := trace.Read(f)
+	fi, err := f.Stat()
 	if err != nil {
 		return err
 	}
-	var loads, stores, computes, addrs int
-	for _, r := range tr.Records {
-		switch r.Kind {
-		case gpusim.Load:
-			loads++
-			addrs += len(r.Addrs)
-		case gpusim.Store:
-			stores++
-			addrs += len(r.Addrs)
-		default:
-			computes++
+	r, err := trace.NewReader(f, fi.Size())
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+
+	hdr := r.Header()
+	var chunks int
+	var payload uint64
+	minChunk, maxChunk := ^uint32(0), uint32(0)
+	for w := 0; w < r.Warps(); w++ {
+		for _, ci := range r.Index(w) {
+			chunks++
+			payload += uint64(ci.PayloadLen)
+			if ci.Count < minChunk {
+				minChunk = ci.Count
+			}
+			if ci.Count > maxChunk {
+				maxChunk = ci.Count
+			}
 		}
 	}
-	fmt.Printf("%s: %d warps, %d records (%d loads, %d stores, %d compute), %d thread addresses\n",
-		path, tr.Warps, len(tr.Records), loads, stores, computes, addrs)
+	var loads, stores, computes, addrs uint64
+	for w := 0; w < r.Warps(); w++ {
+		for i := 0; i < r.Chunks(w); i++ {
+			recs, err := r.LoadChunk(w, i)
+			if err != nil {
+				return fmt.Errorf("%s: warp %d chunk %d: %w", path, w, i, err)
+			}
+			for _, rec := range recs {
+				switch rec.Kind {
+				case gpusim.Load:
+					loads++
+					addrs += uint64(len(rec.Addrs))
+				case gpusim.Store:
+					stores++
+					addrs += uint64(len(rec.Addrs))
+				default:
+					computes++
+				}
+			}
+		}
+	}
+
+	fmt.Printf("%s: PLTR v2, %d bytes\n", path, fi.Size())
+	fmt.Printf("  warps         %d\n", r.Warps())
+	fmt.Printf("  records       %d (%d loads, %d stores, %d compute; %d thread addresses)\n",
+		r.TotalRecords(), loads, stores, computes, addrs)
+	fmt.Printf("  chunks        %d (target %d records/chunk, actual %d-%d)\n",
+		chunks, hdr.ChunkRecords, minChunk, maxChunk)
+	fmt.Printf("  chunk payload %d bytes (%.1f%% of file)\n",
+		payload, 100*float64(payload)/float64(fi.Size()))
+	if hdr.HasModel {
+		m := hdr.Model
+		fmt.Printf("  value model   seed=%#x zero=%.2f pool=%.2f/%d jitter=%v\n",
+			m.Seed, m.ZeroFrac, m.PoolFrac, m.PoolSize, m.Jitter)
+	} else {
+		fmt.Printf("  value model   none (replays with zero model)\n")
+	}
 	return nil
 }

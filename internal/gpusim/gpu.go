@@ -60,7 +60,20 @@ type GPU struct {
 	tamperOps     []TamperOp
 	tamperApplied int
 	tamperLog     []TamperRecord
+
+	// issueTap, when set, observes every instruction the moment it is
+	// issued (after the workload hands it out, before any scheduling) —
+	// the hook trace capture records the real issued stream through. Not
+	// simulation state: a capturing caller re-registers it after resume.
+	issueTap func(warp int, inst Inst)
 }
+
+// SetIssueTap registers fn to observe every issued instruction in issue
+// order, or removes the tap when fn is nil. The tap sees exactly what
+// execute sees — including streams shortened by instruction budgets or
+// altered scheduling under tamper plans — so a capture of a run is the
+// run. fn must not retain inst.Addrs past the call.
+func (g *GPU) SetIssueTap(fn func(warp int, inst Inst)) { g.issueTap = fn }
 
 // partition is one memory-side shard. All fields are owned by the
 // partition's goroutine during a window; the SM side may only reach them
@@ -209,6 +222,9 @@ func (g *GPU) fetch(w *warpCtx) {
 		return
 	}
 	g.issued++
+	if g.issueTap != nil {
+		g.issueTap(w.id, inst)
+	}
 	if g.cfg.MaxInstructions > 0 && g.issued >= g.cfg.MaxInstructions {
 		g.budgetDone = true
 	}

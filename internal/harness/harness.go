@@ -75,7 +75,7 @@ func DefaultConfig() Config {
 	return Config{
 		ProtectedBytes:  128 << 20,
 		MaxInstructions: 20000,
-		Benchmarks:      workload.Names(),
+		Benchmarks:      workload.SuiteNames(),
 		Parallelism:     runtime.GOMAXPROCS(0),
 	}
 }

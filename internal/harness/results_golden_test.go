@@ -39,7 +39,7 @@ func normalizeFigure(s string) string { return timingRE.ReplaceAllString(s, ")")
 func resultsConfig() Config {
 	cfg := DefaultConfig()
 	cfg.MaxInstructions = resultsBudget
-	cfg.Benchmarks = workload.Names()
+	cfg.Benchmarks = workload.SuiteNames()
 	return cfg
 }
 

@@ -43,7 +43,8 @@ var simCritical = []string{
 	"internal/valcache",
 	"internal/cache",
 	"internal/workload",
-	"internal/trace",
+	"internal/trace",    // covers internal/trace/scenario
+	"internal/valmodel", // value models: every byte a replayed store writes
 	"internal/geom",
 	"internal/crypto", // covers internal/crypto/...
 	"internal/stats",

@@ -35,6 +35,13 @@ func TestScopes(t *testing.T) {
 		// hooks run inside simulating processes.
 		{mod("internal/dense"), true, true, true, true},
 		{mod("internal/prof"), true, true, true, true},
+		// Trace pipeline: the serialized record stream, its replay
+		// cursors, the scenario generators, and the value models all
+		// feed simulation state directly.
+		{mod("internal/trace"), true, true, true, true},
+		{mod("internal/trace/scenario"), true, true, true, true},
+		{mod("internal/valmodel"), true, true, true, true},
+		{mod("cmd/tracegen"), false, false, true, true},
 		{mod("internal/harness"), false, true, false, true},
 		{ModulePath, false, true, true, true}, // module root: determinism tests
 		// rawconc is module-wide default-deny: commands and examples off

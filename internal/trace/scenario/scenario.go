@@ -1,0 +1,375 @@
+// Package scenario is the production scenario corpus: deterministic,
+// step-indexed workload generators modelling the deployment shapes the
+// paper's evaluation cannot reach with single-kernel benchmarks —
+// DNN-inference serving, multi-tenant interleaving, phase-changing
+// kernels, and attacks mounted under bandwidth load. Scenarios
+// implement gpusim.Workload (plus the checkpoint cursor and value-model
+// interfaces), register into the workload registry alongside the
+// synthetic suite, and are the intended capture sources for the trace
+// corpus: `tracegen -scenario <name>` emits a PLTR-v2 trace whose
+// replay is byte-identical to running the scenario live.
+//
+// Like the workload package, everything is hash-derived from
+// (scenario, warp, step): no shared mutable state beyond per-warp
+// counters, so scenarios parallel-replay and checkpoint exactly like
+// the suite.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/plutus-gpu/plutus/internal/geom"
+	"github.com/plutus-gpu/plutus/internal/gpusim"
+	"github.com/plutus-gpu/plutus/internal/valmodel"
+)
+
+// Info describes one scenario family for listings (tracegen -scenario).
+type Info struct {
+	Name string
+	Desc string
+	// Warps and InstsPerWarp bound the full (uncapped) stream.
+	Warps        int
+	InstsPerWarp int
+}
+
+// family couples an Info with its instruction generator. gen must be a
+// pure function of (seed, warp, step); values is the scenario's data
+// profile, seeded per instance.
+type family struct {
+	info   Info
+	values func(seed uint64) valmodel.Model
+	gen    func(seed uint64, w int, step uint64) gpusim.Inst
+}
+
+var families = map[string]family{
+	"scn-dnn-infer": {
+		info: Info{
+			Name: "scn-dnn-infer",
+			Desc: "DNN inference serving: layer-phased streaming weight reads with activation write-back, shrinking working set per layer",
+			// 24 warps keep captures and the parallel determinism sweep
+			// cheap while still exercising every partition.
+			Warps: 24, InstsPerWarp: 2400,
+		},
+		values: func(seed uint64) valmodel.Model {
+			// Weights: heavy zero/near-zero fraction (pruned+quantised
+			// nets), a hot pool of repeated quantised values with jitter.
+			return valmodel.Model{Seed: seed, ZeroFrac: 0.35, PoolFrac: 0.40, PoolSize: 48, Jitter: true}
+		},
+		gen: genDNNInfer,
+	},
+	"scn-multitenant": {
+		info: Info{
+			Name:  "scn-multitenant",
+			Desc:  "Multi-tenant interleaving: four tenants in disjoint address spaces with per-tenant access patterns sharing one device",
+			Warps: 24, InstsPerWarp: 2400,
+		},
+		values: func(seed uint64) valmodel.Model {
+			return valmodel.Model{Seed: seed, ZeroFrac: 0.20, PoolFrac: 0.25, PoolSize: 64, Jitter: true}
+		},
+		gen: genMultiTenant,
+	},
+	"scn-phase": {
+		info: Info{
+			Name:  "scn-phase",
+			Desc:  "Phase-changing kernel: alternating memory-bound streaming, compute-bound, and random-gather phases",
+			Warps: 24, InstsPerWarp: 2400,
+		},
+		values: func(seed uint64) valmodel.Model {
+			return valmodel.Model{Seed: seed, ZeroFrac: 0.25, PoolFrac: 0.30, PoolSize: 32, Jitter: false}
+		},
+		gen: genPhase,
+	},
+	"scn-attackload": {
+		info: Info{
+			Name:  "scn-attackload",
+			Desc:  "Attack under load: streaming victim traffic saturating bandwidth while probe warps hammer a small window with stores",
+			Warps: 24, InstsPerWarp: 2400,
+		},
+		values: func(seed uint64) valmodel.Model {
+			return valmodel.Model{Seed: seed, ZeroFrac: 0.30, PoolFrac: 0.35, PoolSize: 64, Jitter: true}
+		},
+		gen: genAttackLoad,
+	},
+}
+
+// Names lists the corpus in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(families))
+	for k := range families {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe returns a scenario's Info.
+func Describe(name string) (Info, bool) {
+	f, ok := families[name]
+	return f.info, ok
+}
+
+// Scenario is a runnable scenario instance; it implements
+// gpusim.Workload, gpusim.CheckpointableWorkload, and valmodel.Modeler.
+type Scenario struct {
+	info  Info
+	seed  uint64
+	model valmodel.Model
+	gen   func(seed uint64, w int, step uint64) gpusim.Inst
+	step  []uint64
+}
+
+// New instantiates a scenario with a name-derived seed perturbed by
+// seed (zero leaves it unchanged), mirroring workload.NewBenchSeeded.
+func New(name string, seed uint64) (*Scenario, error) {
+	f, ok := families[name]
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown scenario %q (have %v)", name, Names())
+	}
+	s := uint64(14695981039346656037)
+	for _, c := range name {
+		s = (s ^ uint64(c)) * 1099511628211
+	}
+	if seed != 0 {
+		s ^= valmodel.Splitmix64(seed)
+	}
+	return &Scenario{
+		info:  f.info,
+		seed:  s,
+		model: f.values(s),
+		gen:   f.gen,
+		step:  make([]uint64, f.info.Warps),
+	}, nil
+}
+
+// Name implements gpusim.Workload.
+func (s *Scenario) Name() string { return s.info.Name }
+
+// Warps implements gpusim.Workload.
+func (s *Scenario) Warps() int { return s.info.Warps }
+
+// Next implements gpusim.Workload.
+func (s *Scenario) Next(w int) (gpusim.Inst, bool) {
+	if s.step[w] >= uint64(s.info.InstsPerWarp) {
+		return gpusim.Inst{}, false
+	}
+	step := s.step[w]
+	s.step[w]++
+	return s.gen(s.seed, w, step), true
+}
+
+// ValueModel implements valmodel.Modeler for trace capture.
+func (s *Scenario) ValueModel() valmodel.Model { return s.model }
+
+// MemValue implements gpusim.Workload (pure, parallel-safe).
+func (s *Scenario) MemValue(addr geom.Addr) uint32 { return s.model.MemValue(addr) }
+
+// StoreValue implements gpusim.Workload.
+func (s *Scenario) StoreValue(w int, addr geom.Addr) uint32 { return s.model.StoreValue(w, addr) }
+
+// Cursor implements gpusim.CheckpointableWorkload.
+func (s *Scenario) Cursor() []uint64 {
+	out := make([]uint64, len(s.step))
+	copy(out, s.step)
+	return out
+}
+
+// RestoreCursor implements gpusim.CheckpointableWorkload.
+func (s *Scenario) RestoreCursor(cur []uint64) error {
+	if len(cur) != len(s.step) {
+		return fmt.Errorf("scenario %s: cursor has %d warps, scenario has %d",
+			s.info.Name, len(cur), len(s.step))
+	}
+	copy(s.step, cur)
+	return nil
+}
+
+// --- generators ---
+//
+// Shared helpers keep the generators pure in (seed, warp, step); all
+// randomness flows through valmodel.Hash2 so a scenario's stream is one
+// bit-stable function of its seed.
+
+// coalesced emits n contiguous 4-byte thread addresses starting at base.
+func coalesced(base uint64, n int) []geom.Addr {
+	out := make([]geom.Addr, 0, n)
+	for t := 0; t < n; t++ {
+		out = append(out, geom.Addr(base+uint64(t*4)%geom.BlockSize))
+	}
+	return out
+}
+
+// genDNNInfer models one inference request stream: the per-warp stream
+// walks eight layers; each layer streams its weight matrix (shrinking
+// geometrically, as conv stacks do), re-reads the previous layer's
+// activations, and writes this layer's activations.
+func genDNNInfer(seed uint64, w int, step uint64) gpusim.Inst {
+	// All addresses stay below 256 MiB: the scaled GPU protects
+	// 128 MiB per partition (1 GiB global), and scenarios must fit the
+	// same space the suite footprints do.
+	const (
+		layers    = 8
+		layerLen  = 300 // steps per layer (InstsPerWarp / layers)
+		weightsAt = uint64(0)
+		actsAt    = uint64(160) << 20 // activations live above the weights
+	)
+	layer := step / layerLen % layers
+	lstep := step % layerLen
+	h := valmodel.Hash2(seed, uint64(w)<<32|step)
+
+	// Layer l's weight slab: 16 MiB >> l, laid out back to back.
+	slab := uint64(16<<20) >> layer
+	if slab < geom.BlockSize*64 {
+		slab = geom.BlockSize * 64
+	}
+	slabBase := weightsAt + layer*(16<<20)
+
+	switch {
+	case h%10 < 2:
+		// 20% compute (MAC bursts between loads).
+		return gpusim.Inst{Kind: gpusim.Compute, Cycles: 2 + int(h>>8%3)}
+	case h%10 < 8:
+		// 60% weight/activation loads, fully coalesced streaming.
+		var base uint64
+		if h>>16%4 == 0 {
+			// Re-read previous layer's activations (small, hot).
+			base = actsAt + layer<<22 + (uint64(w)+lstep)*geom.BlockSize%(1<<20)
+		} else {
+			base = slabBase + (uint64(w)+lstep*24)*geom.BlockSize%slab
+		}
+		return gpusim.Inst{Kind: gpusim.Load, Addrs: coalesced(base, 32)}
+	default:
+		// 20% activation write-back for the next layer.
+		base := actsAt + (layer+1)<<22 + (uint64(w)+lstep)*geom.BlockSize%(1<<20)
+		return gpusim.Inst{Kind: gpusim.Store, Addrs: coalesced(base, 32)}
+	}
+}
+
+// genMultiTenant interleaves four tenants in disjoint 256 MiB address
+// spaces: tenant 0 streams, 1 strides, 2 gathers uniformly, 3 hammers a
+// skewed hot region — so one device mixes the metadata-cache best and
+// worst cases the paper separates, in a single run.
+func genMultiTenant(seed uint64, w int, step uint64) gpusim.Inst {
+	tenant := uint64(w % 4)
+	space := tenant << 26 // 64 MiB per tenant, 256 MiB total
+	fp := uint64(32 << 20)
+	h := valmodel.Hash2(seed^tenant, uint64(w)<<32|step)
+
+	if h%10 < 3 {
+		return gpusim.Inst{Kind: gpusim.Compute, Cycles: 1 + int(h>>8%4)}
+	}
+	kind := gpusim.Load
+	if h>>4%10 < 3 {
+		kind = gpusim.Store
+	}
+	switch tenant {
+	case 0: // streaming
+		base := space + (uint64(w/4)+step*6)*geom.BlockSize%fp
+		return gpusim.Inst{Kind: kind, Addrs: coalesced(base, 32)}
+	case 1: // strided
+		base := space + (uint64(w/4)*geom.BlockSize+step*8*geom.BlockSize)%fp
+		return gpusim.Inst{Kind: kind, Addrs: coalesced(base, 32)}
+	case 2: // uniform gather, partially coalesced
+		out := make([]geom.Addr, 0, 16)
+		for t := 0; t < 16; t++ {
+			g := valmodel.Hash2(h, uint64(t/8))
+			sector := g % (fp / geom.SectorSize)
+			out = append(out, geom.Addr(space+sector*geom.SectorSize+uint64(t%8)*4))
+		}
+		return gpusim.Inst{Kind: kind, Addrs: out}
+	default: // skewed scatter: 1/3 of touches in a hot 512 KiB
+		out := make([]geom.Addr, 0, 16)
+		for t := 0; t < 16; t++ {
+			g := valmodel.Hash2(h, uint64(t))
+			region := fp
+			if g%3 == 0 {
+				region = 512 << 10
+			}
+			sector := (g >> 8) % (region / geom.SectorSize)
+			out = append(out, geom.Addr(space+sector*geom.SectorSize+(g>>40&7)*4))
+		}
+		return gpusim.Inst{Kind: kind, Addrs: out}
+	}
+}
+
+// genPhase cycles every 128 steps through a memory-bound streaming
+// phase, a compute-bound phase, and a random-gather phase — the shape
+// that defeats static provisioning and exercises Plutus's behaviour
+// across sharp bandwidth-demand transitions.
+func genPhase(seed uint64, w int, step uint64) gpusim.Inst {
+	const phaseLen = 128
+	phase := step / phaseLen % 3
+	fp := uint64(64 << 20)
+	h := valmodel.Hash2(seed^phase, uint64(w)<<32|step)
+
+	switch phase {
+	case 0: // memory-bound streaming: 85% memory, mostly loads
+		if h%20 < 3 {
+			return gpusim.Inst{Kind: gpusim.Compute, Cycles: 1}
+		}
+		kind := gpusim.Load
+		if h>>4%10 < 2 {
+			kind = gpusim.Store
+		}
+		base := (uint64(w) + step*24) * geom.BlockSize % fp
+		return gpusim.Inst{Kind: kind, Addrs: coalesced(base, 32)}
+	case 1: // compute-bound: 15% memory, long compute ops
+		if h%20 < 17 {
+			return gpusim.Inst{Kind: gpusim.Compute, Cycles: 4 + int(h>>8%8)}
+		}
+		base := (uint64(w) + step) * geom.BlockSize % fp
+		return gpusim.Inst{Kind: gpusim.Load, Addrs: coalesced(base, 32)}
+	default: // random gather, write-heavy (40% stores)
+		if h%20 < 6 {
+			return gpusim.Inst{Kind: gpusim.Compute, Cycles: 2}
+		}
+		kind := gpusim.Load
+		if h>>4%10 < 4 {
+			kind = gpusim.Store
+		}
+		out := make([]geom.Addr, 0, 16)
+		for t := 0; t < 16; t++ {
+			g := valmodel.Hash2(h, uint64(t/4))
+			sector := g % (fp / geom.SectorSize)
+			out = append(out, geom.Addr(sector*geom.SectorSize+uint64(t%4)*8))
+		}
+		return gpusim.Inst{Kind: kind, Addrs: out}
+	}
+}
+
+// genAttackLoad pairs saturating victim traffic with probe warps: the
+// last four warps hammer a 1 MiB window with uncoalesced single-word
+// stores and re-reads (a replay/rollback probe pattern), while the rest
+// stream at full bandwidth so integrity checks happen under contention
+// — the regime where lazy verification windows are widest.
+func genAttackLoad(seed uint64, w int, step uint64) gpusim.Inst {
+	const window = uint64(1 << 20) // probed window
+	fp := uint64(128 << 20)
+	h := valmodel.Hash2(seed, uint64(w)<<32|step)
+
+	if w >= 20 { // probe warps
+		if h%10 < 1 {
+			return gpusim.Inst{Kind: gpusim.Compute, Cycles: 1}
+		}
+		kind := gpusim.Store
+		if h>>4%2 == 0 {
+			kind = gpusim.Load // immediately re-probe what was written
+		}
+		out := make([]geom.Addr, 0, 8)
+		for t := 0; t < 8; t++ {
+			g := valmodel.Hash2(h, uint64(t))
+			out = append(out, geom.Addr(g%(window/4)*4))
+		}
+		return gpusim.Inst{Kind: kind, Addrs: out}
+	}
+	// Victim warps: coalesced streaming at ~90% memory intensity.
+	if h%10 < 1 {
+		return gpusim.Inst{Kind: gpusim.Compute, Cycles: 1}
+	}
+	kind := gpusim.Load
+	if h>>4%10 < 2 {
+		kind = gpusim.Store
+	}
+	base := window + (uint64(w)+step*20)*geom.BlockSize%(fp-window)
+	return gpusim.Inst{Kind: kind, Addrs: coalesced(base, 32)}
+}

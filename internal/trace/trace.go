@@ -1,31 +1,66 @@
-// Package trace records benchmark instruction streams to a compact binary
-// format and replays them as gpusim workloads. Traces make experiments
-// exactly repeatable across machines and let users drive the simulator
-// with externally captured memory traces instead of the synthetic suite.
+// Package trace records benchmark instruction streams in the PLTR
+// binary format and replays them as gpusim workloads. Traces make
+// experiments exactly repeatable across machines and let the simulator
+// be driven by captured production-scale streams (see the scenario
+// subpackage) instead of the synthetic suite.
 //
-// Format (little-endian): a header ("PLTR", version, warp count, value
-// seed), then one record per instruction:
+// # Format (PLTR version 2)
 //
-//	u8   kind (0 compute, 1 load, 2 store)
-//	u32  warp
-//	u16  cycles (compute) or address count (load/store)
-//	u64× addresses
+// All integers are little-endian. The file is a sequence of CRC-guarded
+// chunks in the checkpoint-codec discipline, streamable in both
+// directions: the writer never buffers more than one pending chunk per
+// warp, and the reader never decodes more than one chunk per warp.
+//
+//	magic    [4]byte  "PLTR"
+//	version  u16      = 2
+//	header:
+//	    payloadLen u32
+//	    payload              warps, value model, chunk target
+//	    payloadCRC u32       CRC32 (IEEE) of payload
+//	chunk × N, each owned by one warp:
+//	    tag        u8  = 0x01
+//	    warp       u32
+//	    firstIndex u64       per-warp index of the chunk's first record
+//	    count      u32
+//	    payloadLen u32
+//	    payload              count records (see below)
+//	    payloadCRC u32
+//	footer:
+//	    tag        u8  = 0x02
+//	    payloadLen u32
+//	    payload              total records + per-warp chunk index
+//	    payloadCRC u32
+//	trailer  [8]byte  "PLTR-END"
+//	footerOff u64             file offset of the footer tag
+//	trailerCRC u32            CRC32 (IEEE) of the previous 16 bytes
+//
+// A record is: u8 kind (0 compute, 1 load, 2 store), u16 cycles
+// (compute) or address count (load/store), then that many u64
+// addresses. Records of one warp appear in issue order; the relative
+// order of different warps' chunks is not part of the format (replay
+// timing is decided by the simulator, exactly as for synthetic
+// workloads).
+//
+// The trailer magic distinguishes truncation (writer died; trailer
+// absent → checkpoint.ErrTruncated) from corruption (trailer present
+// but a CRC or structural check fails → checkpoint.ErrCorrupt); intact
+// files of another version (for example v1 traces from before the
+// streaming format) are rejected with checkpoint.ErrVersion. The value
+// model embedded in the header is the capture source's
+// valmodel.Model, so replayed memory images and store streams match
+// the original run bit for bit.
 package trace
 
 import (
-	"bufio"
-	"encoding/binary"
+	"bytes"
 	"fmt"
 	"io"
+	"os"
 
 	"github.com/plutus-gpu/plutus/internal/geom"
 	"github.com/plutus-gpu/plutus/internal/gpusim"
+	"github.com/plutus-gpu/plutus/internal/valmodel"
 )
-
-// magic identifies trace files.
-var magic = [4]byte{'P', 'L', 'T', 'R'}
-
-const version = 1
 
 // Record is one traced warp instruction.
 type Record struct {
@@ -35,205 +70,87 @@ type Record struct {
 	Addrs  []geom.Addr
 }
 
-// Trace is a full captured run.
+// RecordOf converts one issued instruction into its trace record,
+// clamping compute latencies into the format's u16 field the same way
+// the simulator clamps them at execute time (min 1).
+func RecordOf(warp int, inst gpusim.Inst) Record {
+	rec := Record{Warp: uint32(warp), Kind: inst.Kind}
+	if inst.Kind == gpusim.Compute {
+		c := inst.Cycles
+		if c < 1 {
+			c = 1
+		}
+		if c > 0xffff {
+			c = 0xffff
+		}
+		rec.Cycles = uint16(c)
+	} else {
+		rec.Addrs = append([]geom.Addr(nil), inst.Addrs...)
+	}
+	return rec
+}
+
+// Inst converts a record back into the instruction the simulator
+// replays.
+func (r Record) Inst() gpusim.Inst {
+	if r.Kind == gpusim.Compute {
+		return gpusim.Inst{Kind: gpusim.Compute, Cycles: int(r.Cycles)}
+	}
+	return gpusim.Inst{Kind: r.Kind, Addrs: r.Addrs}
+}
+
+// Trace is a fully materialized trace — a convenience for tests and
+// inspection tools. Production replay streams chunks through Replay
+// instead and never holds more than one chunk per warp.
 type Trace struct {
-	Warps     int
-	ValueSeed uint64
-	Records   []Record
+	Warps    int
+	Model    valmodel.Model
+	HasModel bool
+	// Records hold each warp's stream in issue order; ReadAll returns
+	// them warp-major (all of warp 0, then warp 1, ...).
+	Records []Record
 }
 
-// Capture drains up to maxInsts instructions from wl (round-robin over
-// warps, approximating issue order) into a Trace.
-func Capture(wl gpusim.Workload, maxInsts int) *Trace {
-	tr := &Trace{Warps: wl.Warps(), ValueSeed: 0x9e3779b97f4a7c15}
-	live := make([]bool, wl.Warps())
-	for i := range live {
-		live[i] = true
-	}
-	remaining := wl.Warps()
-	for len(tr.Records) < maxInsts && remaining > 0 {
-		for w := 0; w < wl.Warps() && len(tr.Records) < maxInsts; w++ {
-			if !live[w] {
-				continue
-			}
-			inst, ok := wl.Next(w)
-			if !ok {
-				live[w] = false
-				remaining--
-				continue
-			}
-			rec := Record{Warp: uint32(w), Kind: inst.Kind}
-			switch inst.Kind {
-			case gpusim.Compute:
-				c := inst.Cycles
-				if c < 1 {
-					c = 1
-				}
-				if c > 0xffff {
-					c = 0xffff
-				}
-				rec.Cycles = uint16(c)
-			default:
-				rec.Addrs = append([]geom.Addr(nil), inst.Addrs...)
-			}
-			tr.Records = append(tr.Records, rec)
-		}
-	}
-	return tr
-}
-
-// Write serializes the trace.
+// Write serializes the trace in PLTR-v2 format.
 func (t *Trace) Write(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(magic[:]); err != nil {
+	tw, err := NewWriter(w, Header{Warps: t.Warps, Model: t.Model, HasModel: t.HasModel})
+	if err != nil {
 		return err
 	}
-	hdr := make([]byte, 2+4+8+4)
-	binary.LittleEndian.PutUint16(hdr[0:], version)
-	binary.LittleEndian.PutUint32(hdr[2:], uint32(t.Warps))
-	binary.LittleEndian.PutUint64(hdr[6:], t.ValueSeed)
-	binary.LittleEndian.PutUint32(hdr[14:], uint32(len(t.Records)))
-	if _, err := bw.Write(hdr); err != nil {
-		return err
-	}
-	var buf [8]byte
 	for _, r := range t.Records {
-		if err := bw.WriteByte(byte(r.Kind)); err != nil {
-			return err
-		}
-		binary.LittleEndian.PutUint32(buf[:4], r.Warp)
-		if _, err := bw.Write(buf[:4]); err != nil {
-			return err
-		}
-		var n uint16
-		if r.Kind == gpusim.Compute {
-			n = r.Cycles
-		} else {
-			n = uint16(len(r.Addrs))
-		}
-		binary.LittleEndian.PutUint16(buf[:2], n)
-		if _, err := bw.Write(buf[:2]); err != nil {
-			return err
-		}
-		if r.Kind != gpusim.Compute {
-			for _, a := range r.Addrs {
-				binary.LittleEndian.PutUint64(buf[:], uint64(a))
-				if _, err := bw.Write(buf[:]); err != nil {
-					return err
-				}
-			}
-		}
+		tw.Append(r)
 	}
-	return bw.Flush()
+	return tw.Close()
 }
 
-// Read parses a serialized trace.
-func Read(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
-	var m [4]byte
-	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, fmt.Errorf("trace: header: %w", err)
+// ReadAll materializes a whole serialized trace, warp-major.
+func ReadAll(data []byte) (*Trace, error) {
+	r, err := NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return nil, err
 	}
-	if m != magic {
-		return nil, fmt.Errorf("trace: bad magic %q", m)
-	}
-	hdr := make([]byte, 2+4+8+4)
-	if _, err := io.ReadFull(br, hdr); err != nil {
-		return nil, fmt.Errorf("trace: header: %w", err)
-	}
-	if v := binary.LittleEndian.Uint16(hdr[0:]); v != version {
-		return nil, fmt.Errorf("trace: unsupported version %d", v)
-	}
-	t := &Trace{
-		Warps:     int(binary.LittleEndian.Uint32(hdr[2:])),
-		ValueSeed: binary.LittleEndian.Uint64(hdr[6:]),
-	}
-	count := binary.LittleEndian.Uint32(hdr[14:])
-	var buf [8]byte
-	for i := uint32(0); i < count; i++ {
-		kind, err := br.ReadByte()
-		if err != nil {
-			return nil, fmt.Errorf("trace: record %d: %w", i, err)
-		}
-		if _, err := io.ReadFull(br, buf[:4]); err != nil {
-			return nil, fmt.Errorf("trace: record %d: %w", i, err)
-		}
-		warp := binary.LittleEndian.Uint32(buf[:4])
-		if _, err := io.ReadFull(br, buf[:2]); err != nil {
-			return nil, fmt.Errorf("trace: record %d: %w", i, err)
-		}
-		n := binary.LittleEndian.Uint16(buf[:2])
-		rec := Record{Warp: warp, Kind: gpusim.InstKind(kind)}
-		if rec.Kind == gpusim.Compute {
-			rec.Cycles = n
-		} else {
-			rec.Addrs = make([]geom.Addr, n)
-			for k := range rec.Addrs {
-				if _, err := io.ReadFull(br, buf[:]); err != nil {
-					return nil, fmt.Errorf("trace: record %d addr %d: %w", i, k, err)
-				}
-				rec.Addrs[k] = geom.Addr(binary.LittleEndian.Uint64(buf[:]))
+	t := &Trace{Warps: r.Warps(), Model: r.Header().Model, HasModel: r.Header().HasModel}
+	for w := 0; w < r.Warps(); w++ {
+		for i := 0; i < r.Chunks(w); i++ {
+			recs, err := r.LoadChunk(w, i)
+			if err != nil {
+				return nil, err
 			}
+			t.Records = append(t.Records, recs...)
 		}
-		t.Records = append(t.Records, rec)
 	}
 	return t, nil
 }
 
-// Replay adapts a Trace to gpusim.Workload. Memory values are hash-derived
-// from the stored seed (value locality is workload-specific; replays that
-// need the original value profile should regenerate the source workload).
-type Replay struct {
-	name  string
-	trace *Trace
-	// perWarp[w] holds indices into trace.Records in capture order.
-	perWarp [][]int
-	pos     []int
-}
-
-// NewReplay builds a replayable workload from a trace.
-func NewReplay(name string, t *Trace) *Replay {
-	r := &Replay{name: name, trace: t, perWarp: make([][]int, t.Warps), pos: make([]int, t.Warps)}
-	for i, rec := range t.Records {
-		r.perWarp[rec.Warp] = append(r.perWarp[rec.Warp], i)
+// ReadFile is ReadAll over a file.
+func ReadFile(path string) (*Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
 	}
-	return r
-}
-
-// Name implements gpusim.Workload.
-func (r *Replay) Name() string { return r.name }
-
-// Warps implements gpusim.Workload.
-func (r *Replay) Warps() int { return r.trace.Warps }
-
-// Next implements gpusim.Workload.
-func (r *Replay) Next(w int) (gpusim.Inst, bool) {
-	if r.pos[w] >= len(r.perWarp[w]) {
-		return gpusim.Inst{}, false
+	t, err := ReadAll(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	rec := r.trace.Records[r.perWarp[w][r.pos[w]]]
-	r.pos[w]++
-	switch rec.Kind {
-	case gpusim.Compute:
-		return gpusim.Inst{Kind: gpusim.Compute, Cycles: int(rec.Cycles)}, true
-	default:
-		return gpusim.Inst{Kind: rec.Kind, Addrs: rec.Addrs}, true
-	}
-}
-
-func mix(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
-
-// MemValue implements gpusim.Workload.
-func (r *Replay) MemValue(a geom.Addr) uint32 {
-	return uint32(mix(r.trace.ValueSeed ^ uint64(a)/4))
-}
-
-// StoreValue implements gpusim.Workload.
-func (r *Replay) StoreValue(w int, a geom.Addr) uint32 {
-	return uint32(mix(r.trace.ValueSeed ^ uint64(a)/4 ^ uint64(w)<<48))
+	return t, nil
 }

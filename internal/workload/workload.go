@@ -24,9 +24,13 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"github.com/plutus-gpu/plutus/internal/geom"
 	"github.com/plutus-gpu/plutus/internal/gpusim"
+	"github.com/plutus-gpu/plutus/internal/trace"
+	"github.com/plutus-gpu/plutus/internal/trace/scenario"
+	"github.com/plutus-gpu/plutus/internal/valmodel"
 )
 
 // Pattern is a benchmark's dominant memory-access pattern.
@@ -119,21 +123,19 @@ func (s Spec) Validate() error {
 	return nil
 }
 
-// splitmix64 is the deterministic hash behind all generator decisions.
-func splitmix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
+// splitmix64 and hash2 are this package's historical names for the
+// shared generator hashes, now owned by internal/valmodel so trace
+// replay and the scenario corpus derive values from the same math.
+func splitmix64(x uint64) uint64 { return valmodel.Splitmix64(x) }
 
-func hash2(a, b uint64) uint64 { return splitmix64(a*0x9e3779b97f4a7c15 ^ splitmix64(b)) }
+func hash2(a, b uint64) uint64 { return valmodel.Hash2(a, b) }
 
 // Bench is a runnable instance of a Spec; it implements gpusim.Workload.
 type Bench struct {
-	spec Spec
-	seed uint64
-	step []uint64 // per-warp instruction counter
+	spec  Spec
+	seed  uint64
+	model valmodel.Model
+	step  []uint64 // per-warp instruction counter
 }
 
 // NewBench instantiates spec with a name-derived seed.
@@ -157,7 +159,15 @@ func NewBenchSeeded(spec Spec, seed uint64) (*Bench, error) {
 	if seed != 0 {
 		s ^= splitmix64(seed)
 	}
-	return &Bench{spec: spec, seed: s, step: make([]uint64, spec.Warps)}, nil
+	p := spec.Values
+	m := valmodel.Model{
+		Seed:     s,
+		ZeroFrac: p.ZeroFrac,
+		PoolFrac: p.PoolFrac,
+		PoolSize: uint32(p.PoolSize),
+		Jitter:   p.Jitter,
+	}
+	return &Bench{spec: spec, seed: s, model: m, step: make([]uint64, spec.Warps)}, nil
 }
 
 // Spec returns the benchmark's parameters.
@@ -260,33 +270,18 @@ func (b *Bench) addrs(w int, step uint64, isLoad bool) []geom.Addr {
 	return out
 }
 
-// valueAt derives a 32-bit value from the profile at a hash point.
-func (b *Bench) valueAt(h uint64) uint32 {
-	p := b.spec.Values
-	r := float64(h%10000) / 10000
-	switch {
-	case r < p.ZeroFrac:
-		return 0
-	case r < p.ZeroFrac+p.PoolFrac && p.PoolSize > 0:
-		v := uint32(hash2(b.seed, uint64(h>>32)%uint64(p.PoolSize))) &^ 0xf
-		if p.Jitter {
-			v |= uint32(h>>48) & 0xf
-		}
-		return v
-	default:
-		return uint32(splitmix64(h) | 1)
-	}
-}
+// ValueModel returns the model the benchmark's data contents derive
+// from; trace capture embeds it so replayed values match this instance
+// exactly (including any seed perturbation).
+func (b *Bench) ValueModel() valmodel.Model { return b.model }
 
 // MemValue implements gpusim.Workload: the initial memory image.
-func (b *Bench) MemValue(addr geom.Addr) uint32 {
-	return b.valueAt(hash2(b.seed^0xDA7A, uint64(addr)/4))
-}
+func (b *Bench) MemValue(addr geom.Addr) uint32 { return b.model.MemValue(addr) }
 
 // StoreValue implements gpusim.Workload: stored values follow the same
 // profile (computation output resembles its input distribution).
 func (b *Bench) StoreValue(w int, addr geom.Addr) uint32 {
-	return b.valueAt(hash2(b.seed^0x5708E, uint64(addr)/4^uint64(w)<<52))
+	return b.model.StoreValue(w, addr)
 }
 
 // --- registry ---
@@ -300,8 +295,11 @@ func register(s Spec) {
 	registry[s.Name] = s
 }
 
-// Names lists all registered benchmarks in sorted order.
-func Names() []string {
+// SuiteNames lists the synthetic benchmark suite in sorted order —
+// the benchmarks the golden figure tables are pinned to. Scenario and
+// trace workloads are deliberately excluded so adding corpus entries
+// never changes byte-pinned results.
+func SuiteNames() []string {
 	out := make([]string, 0, len(registry))
 	for k := range registry {
 		out = append(out, k)
@@ -310,23 +308,48 @@ func Names() []string {
 	return out
 }
 
-// Get instantiates a registered benchmark.
-func Get(name string) (*Bench, error) {
+// Names lists every named workload Get resolves: the synthetic suite
+// plus the scenario corpus, sorted. `trace:` workloads are not listed
+// (they name files, not registry entries).
+func Names() []string {
+	out := append(SuiteNames(), scenario.Names()...)
+	sort.Strings(out)
+	return out
+}
+
+// Get instantiates a named workload. Three namespaces resolve, in
+// order: the synthetic suite, the scenario corpus
+// (internal/trace/scenario), and `trace:<path>` — a PLTR-v2 trace file
+// replayed as a workload. All three flow through the harness, plutusd,
+// and cluster sweeps identically; the returned value implements
+// gpusim.CheckpointableWorkload in every case, so any workload
+// checkpoints and resumes.
+func Get(name string) (gpusim.Workload, error) {
 	return GetSeeded(name, 0)
 }
 
-// GetSeeded instantiates a registered benchmark with a perturbed seed
-// (zero matches Get); see NewBenchSeeded.
-func GetSeeded(name string, seed uint64) (*Bench, error) {
-	s, ok := registry[name]
-	if !ok {
-		return nil, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, Names())
+// GetSeeded instantiates a named workload with a perturbed seed (zero
+// matches Get); see NewBenchSeeded. Trace replays refuse non-zero
+// seeds: a trace is one recorded run, and silently replaying it with a
+// different memory image would un-pin the very bytes it pins.
+func GetSeeded(name string, seed uint64) (gpusim.Workload, error) {
+	if path, ok := strings.CutPrefix(name, "trace:"); ok {
+		if seed != 0 {
+			return nil, fmt.Errorf("workload: %s: trace replays are seedless (recorded runs); got seed %d", name, seed)
+		}
+		return trace.OpenReplay(name, path)
 	}
-	return NewBenchSeeded(s, seed)
+	if s, ok := registry[name]; ok {
+		return NewBenchSeeded(s, seed)
+	}
+	if _, ok := scenario.Describe(name); ok {
+		return scenario.New(name, seed)
+	}
+	return nil, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, Names())
 }
 
 // MustGet is Get for tests and static tables.
-func MustGet(name string) *Bench {
+func MustGet(name string) gpusim.Workload {
 	b, err := Get(name)
 	if err != nil {
 		panic(err)

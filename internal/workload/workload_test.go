@@ -1,20 +1,36 @@
 package workload
 
 import (
+	"strings"
 	"testing"
 
 	"github.com/plutus-gpu/plutus/internal/geom"
 	"github.com/plutus-gpu/plutus/internal/gpusim"
 )
 
+// mustBench instantiates a suite benchmark as its concrete type, for
+// tests that reach past gpusim.Workload into Spec/Reset.
+func mustBench(t *testing.T, name string) *Bench {
+	t.Helper()
+	s, ok := registry[name]
+	if !ok {
+		t.Fatalf("unknown suite benchmark %q", name)
+	}
+	b, err := NewBench(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
 func TestRegistryComplete(t *testing.T) {
-	names := Names()
+	names := SuiteNames()
 	if len(names) < 12 {
 		t.Fatalf("only %d benchmarks registered", len(names))
 	}
 	suites := map[string]int{}
 	for _, n := range names {
-		b := MustGet(n)
+		b := mustBench(t, n)
 		if err := b.Spec().Validate(); err != nil {
 			t.Errorf("%s: invalid spec: %v", n, err)
 		}
@@ -27,9 +43,47 @@ func TestRegistryComplete(t *testing.T) {
 	}
 }
 
+// Names must resolve everything it lists, cover the suite and the
+// scenario corpus, and stay disjoint from the golden-pinned SuiteNames.
+func TestNamesResolve(t *testing.T) {
+	names := Names()
+	if len(names) <= len(SuiteNames()) {
+		t.Fatalf("Names() (%d) should extend SuiteNames() (%d) with scenarios",
+			len(names), len(SuiteNames()))
+	}
+	scenarios := 0
+	for _, n := range names {
+		wl, err := Get(n)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", n, err)
+		}
+		if _, ok := wl.(gpusim.CheckpointableWorkload); !ok {
+			t.Errorf("Get(%q) is not checkpointable", n)
+		}
+		if strings.HasPrefix(n, "scn-") {
+			scenarios++
+		}
+	}
+	if scenarios < 4 {
+		t.Errorf("scenario corpus too small: %d families", scenarios)
+	}
+	for _, n := range SuiteNames() {
+		if strings.HasPrefix(n, "scn-") {
+			t.Errorf("SuiteNames leaked scenario %q into the golden set", n)
+		}
+	}
+}
+
 func TestGetUnknown(t *testing.T) {
 	if _, err := Get("nope"); err == nil {
 		t.Fatal("unknown benchmark did not error")
+	}
+}
+
+func TestTraceSeedRejected(t *testing.T) {
+	if _, err := GetSeeded("trace:/nonexistent.pltr", 7); err == nil ||
+		!strings.Contains(err.Error(), "seedless") {
+		t.Fatalf("seeded trace replay should be rejected, got %v", err)
 	}
 }
 
@@ -54,7 +108,7 @@ func TestDeterminism(t *testing.T) {
 }
 
 func TestResetRewinds(t *testing.T) {
-	b := MustGet("hotspot")
+	b := mustBench(t, "hotspot")
 	first, _ := b.Next(0)
 	for k := 0; k < 50; k++ {
 		b.Next(0)
@@ -67,7 +121,7 @@ func TestResetRewinds(t *testing.T) {
 }
 
 func TestWarpsRetire(t *testing.T) {
-	b := MustGet("mis")
+	b := mustBench(t, "mis")
 	n := 0
 	for {
 		if _, ok := b.Next(1); !ok {
@@ -81,8 +135,8 @@ func TestWarpsRetire(t *testing.T) {
 }
 
 func TestAddressesWithinFootprint(t *testing.T) {
-	for _, name := range Names() {
-		b := MustGet(name)
+	for _, name := range SuiteNames() {
+		b := mustBench(t, name)
 		fp := geom.Addr(b.Spec().Footprint)
 		for k := 0; k < 300; k++ {
 			inst, ok := b.Next(k % b.Spec().Warps)
@@ -100,7 +154,7 @@ func TestAddressesWithinFootprint(t *testing.T) {
 
 func TestReadWriteMixApproximatesSpec(t *testing.T) {
 	for _, name := range []string{"kmeans", "histo", "backprop"} {
-		b := MustGet(name)
+		b := mustBench(t, name)
 		loads, stores := 0, 0
 		for w := 0; w < b.Spec().Warps; w++ {
 			for {
@@ -125,7 +179,7 @@ func TestReadWriteMixApproximatesSpec(t *testing.T) {
 }
 
 func TestMemFracApproximatesSpec(t *testing.T) {
-	b := MustGet("sgemm")
+	b := mustBench(t, "sgemm")
 	mem, total := 0, 0
 	for w := 0; w < 64; w++ {
 		for {
@@ -149,7 +203,7 @@ func TestMemFracApproximatesSpec(t *testing.T) {
 // Value profiles must actually deliver value locality: the fraction of
 // zero words should track ZeroFrac, and pool values must repeat.
 func TestValueProfileShape(t *testing.T) {
-	b := MustGet("bfs") // ZeroFrac 0.40
+	b := mustBench(t, "bfs") // ZeroFrac 0.40
 	zeros, total := 0, 0
 	seen := map[uint32]int{}
 	for a := geom.Addr(0); a < 1<<16; a += 4 {
@@ -180,7 +234,7 @@ func TestValueProfileShape(t *testing.T) {
 // Graph patterns must be measurably less coalesced than streaming ones.
 func TestPatternCoalescingContrast(t *testing.T) {
 	sectorsOf := func(name string) float64 {
-		b := MustGet(name)
+		b := mustBench(t, name)
 		totalSectors, insts := 0, 0
 		for w := 0; w < 32; w++ {
 			for {
