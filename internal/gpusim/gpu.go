@@ -184,6 +184,11 @@ func New(cfg Config, wl Workload) (*GPU, error) {
 			}
 			return buf
 		}
+		if src, ok := wl.(secmem.StreamCursorSource); ok {
+			part.sec.StreamHint = func(local geom.Addr) (uint64, bool) {
+				return src.StreamCursor(il.GlobalAddr(p, local))
+			}
+		}
 		g.parts = append(g.parts, part)
 	}
 

@@ -37,6 +37,7 @@ func Figures() []Figure {
 		{"fig21", "Fig. 21: sensitivity to value-cache size (value-verified read fraction / IPC)", Fig21},
 		{"fig22", "Fig. 22: average power normalized to no security", Fig22},
 		{"eq1", "Eq. 1: forgery-probability bound for the value-verification threshold", Eq1Table},
+		{"frontier", "Scheme frontier: every registered scheme vs no security", Frontier},
 	}
 }
 
@@ -362,6 +363,81 @@ func Fig22(r *Runner) (string, error) {
 		fmt.Sprintf("%.3f", stats.GeoMean(gms[0])),
 		fmt.Sprintf("%.3f", stats.GeoMean(gms[1]))})
 	return "Energy per instruction normalized to no security (paper's Fig. 22: PSSM 1.369 → Plutus 1.178 in power)\n" +
+		stats.Table(header, rows), nil
+}
+
+// verifyPath names the mechanism a scheme uses to decide a read's
+// integrity verdict — the column that distinguishes the scheme families
+// in the frontier table.
+func verifyPath(sc secmem.Config) string {
+	switch {
+	case sc.NoSecurity:
+		return "none"
+	case sc.SSM:
+		return fmt.Sprintf("reconstruct %d-of-%d", sc.SSMThreshold, sc.SSMShares)
+	case sc.MGX:
+		return "mac+bmt, derived versions"
+	case sc.ValueVerify:
+		return "value-match, mac+bmt fallback"
+	case sc.NoTreeTraffic:
+		return "mac+bmt (tree traffic elided)"
+	default:
+		return "mac+bmt"
+	}
+}
+
+// Frontier is the cross-scheme comparison the registry implies: one row
+// per registered scheme, normalized to the no-security baseline. It
+// iterates secmem.Names() rather than a hand-kept list, so registering
+// a scheme is what adds its row — and the pinned results/frontier.txt
+// golden forces the new row through review.
+func Frontier(r *Runner) (string, error) {
+	names := secmem.Names()
+	schemes := make([]secmem.Config, 0, len(names))
+	for _, name := range names {
+		sc, err := secmem.ByName(name, pb(r))
+		if err != nil {
+			return "", err
+		}
+		schemes = append(schemes, sc)
+	}
+	if err := r.runMatrix(schemes); err != nil {
+		return "", err
+	}
+	header := []string{"scheme", "ipc", "dram bytes", "meta/data", "verify path"}
+	var rows [][]string
+	for si, sc := range schemes {
+		var ipc, dram, meta []float64
+		for _, b := range r.cfg.Benchmarks {
+			base, err := r.Run(b, schemes[0])
+			if err != nil {
+				return "", err
+			}
+			st, err := r.Run(b, sc)
+			if err != nil {
+				return "", err
+			}
+			ipc = append(ipc, st.IPC()/base.IPC())
+			dram = append(dram, float64(st.Traffic.Total())/float64(base.Traffic.Total()))
+			meta = append(meta, float64(st.Traffic.MetadataBytes())/float64(st.Traffic.Bytes(stats.Data)))
+		}
+		var metaMean float64
+		for _, x := range meta {
+			metaMean += x
+		}
+		metaMean /= float64(len(meta))
+		// Rows carry the registry name (what ByName accepts), not the
+		// constructor's display Scheme — the registry↔rows bijection
+		// test keys on it.
+		rows = append(rows, []string{
+			names[si],
+			fmt.Sprintf("%.3f", stats.GeoMean(ipc)),
+			fmt.Sprintf("%.3f", stats.GeoMean(dram)),
+			fmt.Sprintf("%.2f", metaMean),
+			verifyPath(sc),
+		})
+	}
+	return "Geomean IPC and DRAM traffic normalized to no security, by registered scheme\n" +
 		stats.Table(header, rows), nil
 }
 

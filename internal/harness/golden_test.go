@@ -51,7 +51,7 @@ func TestWriteCSVByteStable(t *testing.T) {
 // TestFigureTextByteStable pins the human-readable tables the same way:
 // regenerating a figure from scratch yields identical bytes.
 func TestFigureTextByteStable(t *testing.T) {
-	for _, id := range []string{"fig10", "eq1"} {
+	for _, id := range []string{"fig10", "eq1", "frontier"} {
 		fig, err := FigureByID(id)
 		if err != nil {
 			t.Fatal(err)

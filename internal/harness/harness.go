@@ -336,6 +336,11 @@ func (r *Runner) simulate(ctx context.Context, bench string, sc secmem.Config, s
 		}
 	}
 	if r.cfg.TamperPlan != nil {
+		// A plan may only carry attack kinds the scheme has DRAM-resident
+		// targets for; anything else would silently no-op at the engine.
+		if verr := r.cfg.TamperPlan.ValidateFor(sc); verr != nil {
+			return nil, fmt.Errorf("harness: %s/%s: %w", bench, sc.Scheme, verr)
+		}
 		// Plan addresses live in the interleaved global protected space
 		// spanning all partitions. Arming after resume is required too:
 		// the schedule is not part of the snapshot, only the count of

@@ -91,8 +91,8 @@ func TestRunnerUnknownBenchmark(t *testing.T) {
 
 func TestFigureRegistryResolves(t *testing.T) {
 	figs := Figures()
-	if len(figs) != 13 {
-		t.Fatalf("expected 13 experiments, have %d", len(figs))
+	if len(figs) != 14 {
+		t.Fatalf("expected 14 experiments, have %d", len(figs))
 	}
 	for _, f := range figs {
 		got, err := FigureByID(f.ID)

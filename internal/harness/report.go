@@ -53,6 +53,13 @@ func Report(st *stats.Stats, sc secmem.Config) string {
 			st.Sec.CompactHits, st.Sec.CompactOverflow, st.Sec.CompactDisabled)
 		fmt.Fprintf(&b, "integrity: tree-node verifications %d, tamper %d, replay %d\n",
 			st.Sec.BMTNodeVerifies, st.Sec.TamperDetected, st.Sec.ReplayDetected)
+		// Frontier-scheme datapath line: only mgx derives versions and
+		// only ssm reconstructs shares, so every pre-frontier report
+		// stays byte-identical.
+		if st.Sec.DerivedVersions > 0 || st.Sec.DerivedFallbacks > 0 || st.Sec.SharesReconstructed > 0 {
+			fmt.Fprintf(&b, "frontier: derived versions %d, counter fallbacks %d, share reconstructions %d\n",
+				st.Sec.DerivedVersions, st.Sec.DerivedFallbacks, st.Sec.SharesReconstructed)
+		}
 	}
 	// Attack-run lines appear only when an injector ran, so every benign
 	// report stays byte-identical to pre-tamper-subsystem output.

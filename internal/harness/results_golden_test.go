@@ -6,8 +6,10 @@ import (
 	"path/filepath"
 	"regexp"
 	"sort"
+	"strings"
 	"testing"
 
+	"github.com/plutus-gpu/plutus/internal/secmem"
 	"github.com/plutus-gpu/plutus/internal/workload"
 )
 
@@ -60,31 +62,94 @@ func readGolden(t *testing.T, id string) string {
 	return string(raw)
 }
 
-// checkFigureGolden regenerates one figure on r and byte-diffs it
-// against results/<id>.txt. With -update it rewrites the committed file
-// in cmd/experiments' exact on-disk format (including a fresh timing
-// footer) so the two writers stay interchangeable.
-func checkFigureGolden(t *testing.T, r *Runner, f Figure) {
-	t.Helper()
+// regenFigureBody regenerates one figure on r in cmd/experiments' exact
+// on-disk format. The wall-clock half of the footer is cosmetic and
+// normalized away before every comparison; the test writer pins it to
+// 0.0s so a rewritten file is fully deterministic (cmd/experiments
+// records the real elapsed time when it regenerates the same files).
+func regenFigureBody(r *Runner, f Figure) (string, error) {
 	out, err := f.Run(r)
 	if err != nil {
-		t.Fatalf("%s: %v", f.ID, err)
+		return "", fmt.Errorf("%s: %w", f.ID, err)
 	}
-	// The wall-clock half of the footer is cosmetic and normalized away
-	// before every comparison; the test writer pins it to 0.0s so the
-	// rewritten file is fully deterministic (cmd/experiments records the
-	// real elapsed time when it regenerates the same files).
-	body := f.Title + "\n\n" + out + fmt.Sprintf("\n(budget: %d instructions/run; generated in 0.0s)\n",
-		resultsBudget)
+	return f.Title + "\n\n" + out + fmt.Sprintf("\n(budget: %d instructions/run; generated in 0.0s)\n",
+		resultsBudget), nil
+}
+
+// diffFigureGolden regenerates one figure and byte-diffs it against the
+// committed golden text, returning a descriptive error on any drift.
+// Split from the *testing.T path so the suite itself can be tested: a
+// deliberately staled golden must produce an error here, proving the
+// pin actually bites.
+func diffFigureGolden(r *Runner, f Figure, golden string) error {
+	body, err := regenFigureBody(r, f)
+	if err != nil {
+		return err
+	}
+	if got, want := normalizeFigure(body), normalizeFigure(golden); got != want {
+		return fmt.Errorf("%s drifted from results/%s.txt (regenerate with -update if intentional):\n got:\n%s\nwant:\n%s",
+			f.ID, f.ID, got, want)
+	}
+	return nil
+}
+
+// checkFigureGolden pins one figure against results/<id>.txt. With
+// -update it rewrites the committed file first.
+func checkFigureGolden(t *testing.T, r *Runner, f Figure) {
+	t.Helper()
 	if *update {
+		body, err := regenFigureBody(r, f)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if err := os.WriteFile(filepath.Join(resultsDir, f.ID+".txt"), []byte(body), 0o644); err != nil {
 			t.Fatal(err)
 		}
 	}
-	got, want := normalizeFigure(body), normalizeFigure(readGolden(t, f.ID))
-	if got != want {
-		t.Errorf("%s drifted from results/%s.txt (regenerate with -update if intentional):\n got:\n%s\nwant:\n%s",
-			f.ID, f.ID, got, want)
+	if err := diffFigureGolden(r, f, readGolden(t, f.ID)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStaleGoldenFails is the suite's negative control: a golden whose
+// bytes do not match the regenerated figure must be reported as drift.
+// Without this, a bug that made diffFigureGolden vacuously pass (say,
+// normalizing away the whole body) would silently disarm every pin.
+func TestStaleGoldenFails(t *testing.T) {
+	f, err := FigureByID("eq1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(resultsConfig())
+	stale := readGolden(t, "eq1") + "a stale trailing line\n"
+	if err := diffFigureGolden(r, f, stale); err == nil {
+		t.Fatal("diffFigureGolden accepted a stale golden")
+	} else if !strings.Contains(err.Error(), "drifted from results/eq1.txt") {
+		t.Fatalf("drift error lost its provenance: %v", err)
+	}
+	if err := diffFigureGolden(r, f, readGolden(t, "eq1")); err != nil {
+		t.Fatalf("pristine golden rejected: %v", err)
+	}
+}
+
+// TestFrontierCoversRegistry extends the registry↔results bijection to
+// the frontier table: the committed results/frontier.txt must carry
+// exactly one row per registered scheme, so registering a scheme
+// without regenerating the golden fails here even when the slow
+// full-figure suite is skipped.
+func TestFrontierCoversRegistry(t *testing.T) {
+	golden := readGolden(t, "frontier")
+	rows := map[string]int{}
+	for _, line := range strings.Split(golden, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) > 0 {
+			rows[fields[0]]++
+		}
+	}
+	for _, name := range secmem.Names() {
+		if n := rows[name]; n != 1 {
+			t.Errorf("results/frontier.txt has %d rows for scheme %q, want exactly 1 (regenerate with -update)", n, name)
+		}
 	}
 }
 

@@ -31,50 +31,96 @@ func testPlan(t *testing.T) *tamper.Plan {
 	return p
 }
 
+// frontierSchemes are the representatives of the three scheme families
+// the harness-level attack tests cover: the full counter+MAC+tree
+// design, the derived-version MGX variant, and the secret-sharing
+// datapath with no DRAM metadata at all.
+func frontierSchemes(t *testing.T) []secmem.Config {
+	t.Helper()
+	var out []secmem.Config
+	for _, name := range []string{"plutus", "mgx", "ssm"} {
+		sc, err := secmem.ByName(name, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, sc)
+	}
+	return out
+}
+
+// planFor narrows the shared test plan to the attack kinds a scheme has
+// DRAM-resident targets for (ssm keeps no counters to roll back) and
+// returns it with the number of ops it expands to.
+func planFor(t *testing.T, sc secmem.Config) (*tamper.Plan, uint64) {
+	t.Helper()
+	p := testPlan(t).FilterFor(sc)
+	var n uint64
+	for _, d := range p.Directives {
+		if d.IsRange {
+			n += uint64(d.Count)
+		} else {
+			n++
+		}
+	}
+	return p, n
+}
+
 // TestTamperRunDetects: an attacked full-pipeline run applies the whole
-// schedule, and the integrity scheme never lets a tainted read through
+// schedule, and every integrity scheme — MAC+BMT, derived-version, and
+// share-reconstruction alike — never lets a tainted read through
 // silently.
 func TestTamperRunDetects(t *testing.T) {
-	r := NewRunner(Config{
-		MaxInstructions: 6000,
-		Benchmarks:      []string{"stream"},
-		TamperPlan:      testPlan(t),
-	})
-	st, err := r.Run("stream", secmem.Plutus(0))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if st.Sec.TamperInjected != 20 {
-		t.Errorf("injected %d ops, want all 20", st.Sec.TamperInjected)
-	}
-	if n := st.Sec.Verdicts.Count(stats.VerdictSilentCorruption); n != 0 {
-		t.Errorf("%d silent corruptions on an integrity scheme", n)
+	for _, sc := range frontierSchemes(t) {
+		t.Run(sc.Scheme, func(t *testing.T) {
+			plan, want := planFor(t, sc)
+			r := NewRunner(Config{
+				MaxInstructions: 6000,
+				Benchmarks:      []string{"stream"},
+				TamperPlan:      plan,
+			})
+			st, err := r.Run("stream", sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Sec.TamperInjected != want {
+				t.Errorf("injected %d ops, want all %d", st.Sec.TamperInjected, want)
+			}
+			if n := st.Sec.Verdicts.Count(stats.VerdictSilentCorruption); n != 0 {
+				t.Errorf("%d silent corruptions on an integrity scheme", n)
+			}
+		})
 	}
 }
 
 // TestTamperParallelMatchesSequential: tamper ops land at epoch
 // boundaries with every shard parked, so parallel-partition execution
-// must replay the attacked run bit-identically to sequential execution.
+// must replay the attacked run bit-identically to sequential execution
+// — for each scheme family.
 func TestTamperParallelMatchesSequential(t *testing.T) {
-	run := func(parallel bool) string {
-		r := NewRunner(Config{
-			MaxInstructions:    6000,
-			Benchmarks:         []string{"stream"},
-			ParallelPartitions: parallel,
-			TamperPlan:         testPlan(t),
+	for _, sc := range frontierSchemes(t) {
+		t.Run(sc.Scheme, func(t *testing.T) {
+			plan, _ := planFor(t, sc)
+			run := func(parallel bool) string {
+				r := NewRunner(Config{
+					MaxInstructions:    6000,
+					Benchmarks:         []string{"stream"},
+					ParallelPartitions: parallel,
+					TamperPlan:         plan,
+				})
+				st, err := r.Run("stream", sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var js bytes.Buffer
+				if err := WriteRunJSON(&js, st); err != nil {
+					t.Fatal(err)
+				}
+				return js.String()
+			}
+			if seq, par := run(false), run(true); seq != par {
+				t.Errorf("attacked run diverges between sequential and parallel partitions:\nseq: %s\npar: %s", seq, par)
+			}
 		})
-		st, err := r.Run("stream", secmem.Plutus(0))
-		if err != nil {
-			t.Fatal(err)
-		}
-		var js bytes.Buffer
-		if err := WriteRunJSON(&js, st); err != nil {
-			t.Fatal(err)
-		}
-		return js.String()
-	}
-	if seq, par := run(false), run(true); seq != par {
-		t.Errorf("attacked run diverges between sequential and parallel partitions:\nseq: %s\npar: %s", seq, par)
 	}
 }
 
@@ -84,36 +130,84 @@ func TestTamperParallelMatchesSequential(t *testing.T) {
 // the applied-op index) renders byte-identical reports to an
 // uninterrupted attacked run.
 func TestTamperResumeByteIdentical(t *testing.T) {
-	sc := secmem.Plutus(0)
-	cfg := func(dir string, resume bool) Config {
-		c := ckptHarnessCfg(dir, resume)
-		c.TamperPlan = testPlan(t)
-		return c
-	}
-	render := func(r *Runner) string {
-		st, err := r.Run("stream", sc)
-		if err != nil {
-			t.Fatal(err)
-		}
-		var js bytes.Buffer
-		if err := WriteRunJSON(&js, st); err != nil {
-			t.Fatal(err)
-		}
-		return js.String() + "\n" + Report(st, sc)
-	}
+	for _, sc := range frontierSchemes(t) {
+		t.Run(sc.Scheme, func(t *testing.T) {
+			plan, _ := planFor(t, sc)
+			cfg := func(dir string, resume bool) Config {
+				c := ckptHarnessCfg(dir, resume)
+				c.TamperPlan = plan
+				return c
+			}
+			render := func(r *Runner) string {
+				st, err := r.Run("stream", sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var js bytes.Buffer
+				if err := WriteRunJSON(&js, st); err != nil {
+					t.Fatal(err)
+				}
+				return js.String() + "\n" + Report(st, sc)
+			}
 
-	ref := render(NewRunner(cfg(t.TempDir(), false)))
+			ref := render(NewRunner(cfg(t.TempDir(), false)))
 
-	dir := t.TempDir()
-	preempted := NewRunner(cfg(dir, false))
-	if _, err := preempted.RunContext(newCancelInFlight(), "stream", sc); !errors.Is(err, checkpoint.ErrPreempted) {
-		t.Fatalf("err = %v, want ErrPreempted", err)
+			dir := t.TempDir()
+			preempted := NewRunner(cfg(dir, false))
+			if _, err := preempted.RunContext(newCancelInFlight(), "stream", sc); !errors.Is(err, checkpoint.ErrPreempted) {
+				t.Fatalf("err = %v, want ErrPreempted", err)
+			}
+			if _, err := os.Stat(preempted.SnapshotPath("stream", sc)); err != nil {
+				t.Fatalf("no snapshot left behind: %v", err)
+			}
+			if got := render(NewRunner(cfg(dir, true))); got != ref {
+				t.Errorf("attacked resume diverges:\nref:\n%s\nresumed:\n%s", ref, got)
+			}
+		})
 	}
-	if _, err := os.Stat(preempted.SnapshotPath("stream", sc)); err != nil {
-		t.Fatalf("no snapshot left behind: %v", err)
-	}
-	if got := render(NewRunner(cfg(dir, true))); got != ref {
-		t.Errorf("attacked resume diverges:\nref:\n%s\nresumed:\n%s", ref, got)
+}
+
+// TestFrontierScenarioFamilies drives the new scheme families through
+// the four trace scenario families under attack: the whole schedule is
+// applied, nothing slips through silently, and two completely fresh
+// attacked runs render byte-identical JSON reports.
+func TestFrontierScenarioFamilies(t *testing.T) {
+	families := []string{"scn-dnn-infer", "scn-multitenant", "scn-phase", "scn-attackload"}
+	for _, sc := range frontierSchemes(t) {
+		if sc.Scheme == "plutus" {
+			continue // covered by the existing tamper suite
+		}
+		for _, fam := range families {
+			sc, fam := sc, fam
+			t.Run(sc.Scheme+"/"+fam, func(t *testing.T) {
+				plan, want := planFor(t, sc)
+				run := func() string {
+					r := NewRunner(Config{
+						MaxInstructions: 4000,
+						Benchmarks:      []string{fam},
+						TamperPlan:      plan,
+					})
+					st, err := r.Run(fam, sc)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if st.Sec.TamperInjected != want {
+						t.Errorf("injected %d ops, want all %d", st.Sec.TamperInjected, want)
+					}
+					if n := st.Sec.Verdicts.Count(stats.VerdictSilentCorruption); n != 0 {
+						t.Errorf("%d silent corruptions on an integrity scheme", n)
+					}
+					var js bytes.Buffer
+					if err := WriteRunJSON(&js, st); err != nil {
+						t.Fatal(err)
+					}
+					return js.String()
+				}
+				if a, b := run(), run(); a != b {
+					t.Errorf("two fresh attacked runs diverge:\nfirst:  %s\nsecond: %s", a, b)
+				}
+			})
+		}
 	}
 }
 

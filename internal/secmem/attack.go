@@ -81,7 +81,7 @@ func (e *Engine) SpliceCiphertext(dst, src geom.Addr) {
 func (e *Engine) TamperMAC(local geom.Addr) {
 	local = geom.SectorAddr(local)
 	e.materialize(local)
-	if e.cfg.NoSecurity {
+	if e.cfg.NoSecurity || e.cfg.SSM {
 		return // no MACs in memory to attack
 	}
 	i := e.sectorIdx(local)
@@ -99,7 +99,7 @@ func (e *Engine) TamperMAC(local geom.Addr) {
 // counters have the covering compact unit rolled back too (the attacker
 // replays the whole boot image).
 func (e *Engine) ReplayCounter(local geom.Addr) {
-	if e.cfg.NoSecurity {
+	if e.cfg.NoSecurity || e.cfg.SSM {
 		return // no counters in memory to attack
 	}
 	i := e.sectorIdx(geom.SectorAddr(local))
@@ -122,8 +122,8 @@ func (e *Engine) ReplayCounter(local geom.Addr) {
 // NoTreeTraffic the node is never refetched, so the attack — which
 // leaves data and counters intact — is vacuously survived.
 func (e *Engine) CorruptBMTNode(local geom.Addr) {
-	if e.cfg.NoSecurity {
-		return
+	if e.cfg.NoSecurity || e.cfg.SSM {
+		return // no tree in memory to attack
 	}
 	i := e.sectorIdx(geom.SectorAddr(local))
 	u := e.ctrUnitOf(i)

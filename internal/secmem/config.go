@@ -111,6 +111,24 @@ type Config struct {
 	// MGX/TNPU/softVN-style comparison of Fig. 20.
 	NoTreeTraffic bool
 
+	// MGX enables the mgx frontier scheme: sectors on workload-declared
+	// regular write streams derive their version numbers on-chip from the
+	// stream cursor (Engine.StreamHint, the secmem↔workload contract)
+	// instead of fetching stored counter blocks; sectors written outside
+	// a declared stream fall back to the stored split-counter + BMT path.
+	MGX bool
+
+	// SSM enables the secret-sharing frontier scheme: every data sector
+	// is stored as SSMShares Shamir shares scattered across the protected
+	// space, and k-of-n reconstruction replaces the counter/MAC/BMT
+	// verify path entirely (tamper surfaces as reconstruction failure).
+	SSM bool
+	// SSMShares is n, the total shares per sector (default 3).
+	SSMShares int
+	// SSMThreshold is k, the shares needed to reconstruct (default 2).
+	// The n-k surplus shares are the redundancy that detects tampering.
+	SSMThreshold int
+
 	// EagerTreeUpdate propagates every counter update to the tree root
 	// immediately (paper §II-A3's "eager update scheme") instead of
 	// riding updates on cache evictions (the lazy scheme all evaluated
@@ -173,8 +191,30 @@ func (c *Config) Normalize() error {
 	if c.ValueVerify && c.Value.Entries == 0 {
 		c.Value = valcache.DefaultConfig()
 	}
+	if c.SSM {
+		if c.SSMShares == 0 {
+			c.SSMShares = 3
+		}
+		if c.SSMThreshold == 0 {
+			c.SSMThreshold = 2
+		}
+	}
 	if c.NoSecurity {
 		return nil
+	}
+	if c.SSM {
+		switch {
+		case c.MGX || c.ValueVerify || c.Compact != counters.CompactOff || c.CommonCounters:
+			return fmt.Errorf("secmem: SSM composes with no counter/MAC/tree mechanism (shares are the whole datapath)")
+		case c.SSMThreshold < 2 || c.SSMShares <= c.SSMThreshold || c.SSMShares > 8:
+			return fmt.Errorf("secmem: SSM needs 2 ≤ k < n ≤ 8 shares; got k=%d n=%d", c.SSMThreshold, c.SSMShares)
+		case c.ProtectedBytes%uint64(geom.BlockSize) != 0:
+			return fmt.Errorf("secmem: protected size %d not block aligned", c.ProtectedBytes)
+		}
+		return nil
+	}
+	if c.MGX && (c.Compact != counters.CompactOff || c.CommonCounters || c.ValueVerify) {
+		return fmt.Errorf("secmem: MGX derived versions compose only with the plain MAC+BMT fallback path")
 	}
 	switch {
 	case c.MACBytes != 1 && c.MACBytes != 2 && c.MACBytes != 4 && c.MACBytes != 8:
@@ -278,6 +318,41 @@ func PlutusNoTree(protected uint64) Config {
 	return c
 }
 
+// MGXConfig returns the mgx frontier scheme (PAPERS.md: "MGX: Near-Zero
+// Overhead Memory Protection for Data-Intensive Accelerators"): XTS
+// encryption with 8 B MACs and all-32 B metadata, but version numbers
+// for regular-stream sectors derived on-chip from workload stream
+// cursors — near-zero counter and tree traffic on accelerator-style
+// streaming workloads, with the stored split-counter + BMT path kept as
+// the fallback for irregular writes.
+func MGXConfig(protected uint64) Config {
+	return Config{
+		Scheme:         "mgx",
+		Encryption:     gcipher.ModeXTS,
+		MACBytes:       8,
+		Granularity:    GranAll32,
+		MGX:            true,
+		ProtectedBytes: protected,
+	}
+}
+
+// SSMConfig returns the secret-sharing frontier scheme (PAPERS.md:
+// "Secure Scattered Memory"): each sector stored as 3 Shamir shares
+// (2-of-3) scattered across the protected space under keyed rotations.
+// There is no counter, MAC or tree fetch path at all — reads fetch the
+// shares and reconstruct, and any single-share corruption surfaces as a
+// reconstruction inconsistency. The trade-off is the inverse of
+// Plutus's: zero metadata traffic, n× data amplification.
+func SSMConfig(protected uint64) Config {
+	return Config{
+		Scheme:         "ssm",
+		SSM:            true,
+		SSMShares:      3,
+		SSMThreshold:   2,
+		ProtectedBytes: protected,
+	}
+}
+
 // schemeTable is the single registry behind ByName and Names: every
 // name the CLIs and plutusd's API accept, paired with its constructor,
 // in the canonical report order (baseline, prior work, Plutus ablations,
@@ -298,6 +373,8 @@ var schemeTable = []struct {
 	{"plutus-C3A", func(p uint64) Config { return PlutusCompact(p, counters.Compact3BitAdaptive) }},
 	{"plutus-notree", PlutusNoTree},
 	{"plutus", Plutus},
+	{"mgx", MGXConfig},
+	{"ssm", SSMConfig},
 }
 
 // Names lists every scheme name ByName accepts, in canonical order.
@@ -320,6 +397,26 @@ func ByName(name string, protected uint64) (Config, error) {
 	}
 	return Config{}, fmt.Errorf("unknown scheme %q (valid: %s)", name, strings.Join(Names(), " "))
 }
+
+// --- attack-surface capabilities ---
+//
+// The tamper subsystem validates attack plans against these: an attack
+// kind that targets metadata a scheme does not store in DRAM is a plan
+// error, not a silent no-op (see tamper.Plan.ValidateFor).
+
+// HasDRAMMAC reports whether the scheme stores per-sector MACs in DRAM
+// (the mac-corrupt attack surface).
+func (c Config) HasDRAMMAC() bool { return !c.NoSecurity && !c.SSM }
+
+// HasDRAMCounters reports whether the scheme stores encryption counters
+// in DRAM (the ctr-rollback attack surface). mgx qualifies: its
+// irregular-write fallback keeps the stored split counters.
+func (c Config) HasDRAMCounters() bool { return !c.NoSecurity && !c.SSM }
+
+// HasDRAMTree reports whether the scheme maintains a DRAM-resident
+// integrity tree (the bmt-corrupt attack surface). NoTreeTraffic elides
+// the tree's traffic, not the tree itself.
+func (c Config) HasDRAMTree() bool { return !c.NoSecurity && !c.SSM }
 
 // keys derives the distinct engine keys from the config key material.
 func (c *Config) keys() (enc [32]byte, mac siphash.Key, tree siphash.Key) {

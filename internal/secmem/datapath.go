@@ -80,6 +80,11 @@ func (e *Engine) Read(local geom.Addr, done func(ReadResult)) {
 		return
 	}
 
+	if e.cfg.SSM {
+		e.ssmRead(local, finish)
+		return
+	}
+
 	freshOK := true
 	j := &join{}
 	j.then = func() {
@@ -189,6 +194,13 @@ func (e *Engine) Writeback(local geom.Addr, data []byte, done func()) {
 		return
 	}
 
+	if e.cfg.SSM {
+		pt := make([]byte, geom.SectorSize)
+		copy(pt, data)
+		e.ssmWrite(local, pt, finish)
+		return
+	}
+
 	// The first write to a region ends its common-counter (all-zero) era.
 	if e.cfg.CommonCounters {
 		e.regionWritten.Set(e.regionOf(local))
@@ -221,7 +233,12 @@ func (e *Engine) Writeback(local geom.Addr, data []byte, done func()) {
 func (e *Engine) commitWrite(local geom.Addr, pt []byte, finish func()) {
 	i := e.sectorIdx(local)
 
-	e.bumpCounter(local)
+	mgxDerived := e.cfg.MGX && e.mgxDerived.Get(i)
+	if mgxDerived {
+		e.mgxBumpVersion(i)
+	} else {
+		e.bumpCounter(local)
+	}
 	ct := e.storeCiphertext(local, pt)
 	_ = ct
 	// The sector's DRAM copy (and MAC, below) is rewritten wholesale:
@@ -229,7 +246,10 @@ func (e *Engine) commitWrite(local geom.Addr, pt []byte, finish func()) {
 	e.taintData.Clear(i)
 	e.taintMeta.Clear(i)
 
-	if e.compact == nil {
+	if mgxDerived {
+		// A derived sector has no stored counter to dirty and no tree
+		// unit to refresh — that absence is the scheme's entire saving.
+	} else if e.compact == nil {
 		e.dirtyOriginalCounter(i)
 	} else {
 		// While a write is absorbed by the compact layer, the original
@@ -346,6 +366,12 @@ func (e *Engine) bumpCounter(local geom.Addr) {
 		g := e.split.GroupOf(i)
 		base := g * uint64(e.split.Config().GroupSize)
 		for k := 0; k < e.split.Config().GroupSize; k++ {
+			if e.cfg.MGX && e.mgxDerived.Get(base+uint64(k)) {
+				// Derived group-mates don't ride the split counters: the
+				// major bump doesn't change their effective version, so
+				// they must not be re-encrypted.
+				continue
+			}
 			sa := geom.Addr((base + uint64(k)) * geom.SectorSize)
 			if _, ok := e.mem.Lookup(base + uint64(k)); ok {
 				e.overflowPlain[sa] = e.plaintextOf(sa)
@@ -378,6 +404,17 @@ func (e *Engine) cctrFetchMask(unitAddr geom.Addr) geom.SectorMask {
 // freshOK is cleared if counter verification fails (replay detection).
 func (e *Engine) acquireCounter(local geom.Addr, j *join, freshOK *bool) {
 	i := e.sectorIdx(local)
+
+	// mgx fast path: a derived sector's version is regenerated on-chip
+	// from the stream cursor — no counter fetch, no tree walk, nothing
+	// to verify. Irregular sectors fall through to the stored path.
+	if e.cfg.MGX {
+		if e.mgxClassify(i, local) {
+			e.st.Sec.DerivedVersions++
+			return
+		}
+		e.st.Sec.DerivedFallbacks++
+	}
 
 	// Common-counters fast path: a never-written region has all-zero
 	// counters known on-chip; no counter or tree traffic at all.

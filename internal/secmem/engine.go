@@ -98,6 +98,34 @@ type Engine struct {
 	// regionWritten is the common-counters on-chip write tracker.
 	regionWritten dense.Bitmap
 
+	// --- mgx frontier state (cfg.MGX) ---
+	// mgxVer holds the on-chip derived version of every derived sector.
+	mgxVer dense.U64
+	// mgxDerived marks sectors classified onto a regular stream: their
+	// versions come from mgxVer, never from the split store.
+	mgxDerived dense.Bitmap
+	// mgxIrregular marks sectors classified off-stream (stored-counter
+	// fallback); classification is sticky first-touch (see mgxClassify).
+	mgxIrregular dense.Bitmap
+
+	// --- ssm frontier state (cfg.SSM) ---
+	// ssmVer is the per-sector write version keying the share pads.
+	ssmVer dense.U64
+	// ssmWritten marks sectors ever written (snapshot enumeration).
+	ssmWritten dense.Bitmap
+	//simlint:ignore snapsym keyed rotations are pure geometry derived from the configuration
+	ssmRot []uint64
+	//simlint:ignore snapsym Lagrange reconstruction basis derived from the configuration
+	ssmRecon []byte
+	//simlint:ignore snapsym check-share basis matrix derived from the configuration
+	ssmCheck [][]byte
+
+	// StreamHint, when non-nil, reports whether a partition-local address
+	// lies on a workload-declared regular write stream and, if so, which
+	// one (the mgx secmem↔workload contract; see StreamCursorSource).
+	//simlint:ignore snapsym workload wiring (a function), reattached by the embedding GPU on resume
+	StreamHint func(local geom.Addr) (stream uint64, ok bool)
+
 	// InitData supplies the initial plaintext of a never-written sector
 	// (workload-defined memory contents). Nil means zero-filled.
 	//simlint:ignore snapsym workload wiring (a function), reattached by the embedding GPU on resume
@@ -155,6 +183,14 @@ func New(cfg Config, eng *sim.Engine, ch *dram.Channel, st *stats.Stats) (*Engin
 		overflowPlain: make(map[geom.Addr][]byte),
 	}
 	if cfg.NoSecurity {
+		return e, nil
+	}
+	if cfg.SSM {
+		// The secret-sharing datapath has no counters, MACs, trees or
+		// metadata caches to build — shares are the whole scheme.
+		if err := e.initSSM(); err != nil {
+			return nil, err
+		}
 		return e, nil
 	}
 
@@ -464,6 +500,9 @@ func (e *Engine) setMAC(i uint64, mac uint64) {
 func (e *Engine) materialize(local geom.Addr) []byte {
 	local = geom.SectorAddr(local)
 	i := e.sectorIdx(local)
+	if e.cfg.SSM {
+		return e.ssmShare0(i)
+	}
 	if ct, ok := e.mem.Lookup(i); ok {
 		return ct
 	}
@@ -476,7 +515,7 @@ func (e *Engine) materialize(local geom.Addr) []byte {
 		copy(dst, pt[:])
 		return dst
 	}
-	ctr := e.split.Value(i)
+	ctr := e.counterOf(i)
 	if err := e.enc.EncryptInto(dst, pt[:], uint64(local), ctr); err != nil {
 		panic(fmt.Sprintf("secmem: encrypt: %v", err))
 	}
@@ -488,6 +527,10 @@ func (e *Engine) materialize(local geom.Addr) []byte {
 // is a fresh buffer (it escapes into ReadResult.Data).
 func (e *Engine) plaintextOf(local geom.Addr) []byte {
 	local = geom.SectorAddr(local)
+	if e.cfg.SSM {
+		pt, _ := e.ssmReconstruct(e.sectorIdx(local))
+		return pt
+	}
 	ct := e.materialize(local)
 	out := make([]byte, len(ct))
 	if e.cfg.NoSecurity {
@@ -495,7 +538,7 @@ func (e *Engine) plaintextOf(local geom.Addr) []byte {
 		return out
 	}
 	i := e.sectorIdx(local)
-	if err := e.enc.DecryptInto(out, ct, uint64(local), e.split.Value(i)); err != nil {
+	if err := e.enc.DecryptInto(out, ct, uint64(local), e.counterOf(i)); err != nil {
 		panic(fmt.Sprintf("secmem: decrypt: %v", err))
 	}
 	return out
@@ -506,7 +549,7 @@ func (e *Engine) plaintextOf(local geom.Addr) []byte {
 func (e *Engine) storeCiphertext(local geom.Addr, pt []byte) []byte {
 	local = geom.SectorAddr(local)
 	i := e.sectorIdx(local)
-	ctr := e.split.Value(i)
+	ctr := e.counterOf(i)
 	dst := e.mem.Put(i)
 	if err := e.enc.EncryptInto(dst, pt, uint64(local), ctr); err != nil {
 		panic(fmt.Sprintf("secmem: encrypt: %v", err))
@@ -521,7 +564,7 @@ func (e *Engine) currentMAC(local geom.Addr) uint64 {
 	local = geom.SectorAddr(local)
 	ct := e.materialize(local)
 	i := e.sectorIdx(local)
-	return siphash.Truncate(siphash.SumTagged(e.macKey, ct, uint64(local), e.split.Value(i)), e.cfg.MACBytes)
+	return siphash.Truncate(siphash.SumTagged(e.macKey, ct, uint64(local), e.counterOf(i)), e.cfg.MACBytes)
 }
 
 // onCounterOverflow handles a split-counter minor overflow: every
@@ -549,7 +592,7 @@ func (e *Engine) onCounterOverflow(gi uint64, sectors []uint64) {
 				break
 			}
 			src = append(src, pt...)
-			ctrs = append(ctrs, e.split.Value(sectors[b]))
+			ctrs = append(ctrs, e.counterOf(sectors[b]))
 			b++
 		}
 		if cap(e.runCT) < len(src) {

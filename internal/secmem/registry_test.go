@@ -26,6 +26,8 @@ func TestNamesStability(t *testing.T) {
 		"plutus-C3A",
 		"plutus-notree",
 		"plutus",
+		"mgx",
+		"ssm",
 	}
 	if got := Names(); !reflect.DeepEqual(got, want) {
 		t.Errorf("Names() drifted from the frozen canonical list:\n got  %v\n want %v", got, want)
@@ -44,7 +46,7 @@ func TestByNameUnknownError(t *testing.T) {
 		t.Fatal("unknown scheme resolved")
 	}
 	want := fmt.Sprintf("unknown scheme %q (valid: nosec pssm pssm-4Bmac pssm+cc plutus-V plutus-G32 "+
-		"plutus-G32-128 plutus-C2 plutus-C3 plutus-C3A plutus-notree plutus)", "plutus-xxl")
+		"plutus-G32-128 plutus-C2 plutus-C3 plutus-C3A plutus-notree plutus mgx ssm)", "plutus-xxl")
 	if err.Error() != want {
 		t.Errorf("unknown-scheme error drifted:\n got  %q\n want %q", err.Error(), want)
 	}

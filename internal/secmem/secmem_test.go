@@ -85,6 +85,8 @@ func allSchemes() []Config {
 		PlutusCompact(protected, counters.Compact3BitAdaptive),
 		Plutus(protected),
 		PlutusNoTree(protected),
+		MGXConfig(protected),
+		SSMConfig(protected),
 	}
 }
 

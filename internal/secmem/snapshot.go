@@ -45,6 +45,22 @@ func (e *Engine) Snapshot(enc *checkpoint.Encoder) error {
 	if e.cfg.NoSecurity {
 		return nil
 	}
+	if e.cfg.SSM {
+		// The ssm scheme's only mutable state beyond the share image is
+		// the per-sector write version.
+		snapshotBitmap(enc, &e.ssmWritten)
+		e.ssmWritten.ForEach(func(i uint64) {
+			enc.U64(e.ssmVer.Get(i))
+		})
+		return nil
+	}
+	if e.cfg.MGX {
+		snapshotBitmap(enc, &e.mgxDerived)
+		snapshotBitmap(enc, &e.mgxIrregular)
+		e.mgxDerived.ForEach(func(i uint64) {
+			enc.U64(e.mgxVer.Get(i))
+		})
+	}
 	if err := e.split.Snapshot(enc); err != nil {
 		return err
 	}
@@ -131,6 +147,33 @@ func (e *Engine) Restore(dec *checkpoint.Decoder) error {
 	e.regionWritten = regionWritten
 	if e.cfg.NoSecurity {
 		return nil
+	}
+	if e.cfg.SSM {
+		ssmWritten := restoreBitmap(dec)
+		var ssmVer dense.U64
+		ssmWritten.ForEach(func(i uint64) {
+			ssmVer.Set(i, dec.U64())
+		})
+		if err := dec.Err(); err != nil {
+			return fmt.Errorf("secmem: %w", err)
+		}
+		e.ssmWritten = ssmWritten
+		e.ssmVer = ssmVer
+		return nil
+	}
+	if e.cfg.MGX {
+		mgxDerived := restoreBitmap(dec)
+		mgxIrregular := restoreBitmap(dec)
+		var mgxVer dense.U64
+		mgxDerived.ForEach(func(i uint64) {
+			mgxVer.Set(i, dec.U64())
+		})
+		if err := dec.Err(); err != nil {
+			return fmt.Errorf("secmem: %w", err)
+		}
+		e.mgxDerived = mgxDerived
+		e.mgxIrregular = mgxIrregular
+		e.mgxVer = mgxVer
 	}
 	if err := e.split.Restore(dec); err != nil {
 		return err

@@ -60,6 +60,9 @@ func (s *SecStats) Snapshot(enc *checkpoint.Encoder) {
 	enc.U64(s.ReplayDetected)
 	enc.U64(s.TamperInjected)
 	enc.U64(s.TaintedReads)
+	enc.U64(s.DerivedVersions)
+	enc.U64(s.DerivedFallbacks)
+	enc.U64(s.SharesReconstructed)
 	for i := range s.Verdicts {
 		enc.U64(s.Verdicts[i])
 	}
@@ -79,6 +82,9 @@ func (s *SecStats) Restore(dec *checkpoint.Decoder) {
 	s.ReplayDetected = dec.U64()
 	s.TamperInjected = dec.U64()
 	s.TaintedReads = dec.U64()
+	s.DerivedVersions = dec.U64()
+	s.DerivedFallbacks = dec.U64()
+	s.SharesReconstructed = dec.U64()
 	for i := range s.Verdicts {
 		s.Verdicts[i] = dec.U64()
 	}

@@ -24,6 +24,10 @@ func secStatsFixture() SecStats {
 		ReplayDetected:   1010,
 		TamperInjected:   1111,
 		TaintedReads:     1212,
+
+		DerivedVersions:     1313,
+		DerivedFallbacks:    1414,
+		SharesReconstructed: 1515,
 	}
 	for i, v := range VerdictKinds() {
 		for n := 0; n < 13+i; n++ {
@@ -76,7 +80,7 @@ func TestSecStatsSnapshotSize(t *testing.T) {
 	enc := checkpoint.NewEncoder()
 	s := secStatsFixture()
 	s.Snapshot(enc)
-	const fixed = 12 // scalar uint64 fields
+	const fixed = 15 // scalar uint64 fields
 	want := 8 * (fixed + len(VerdictKinds()))
 	if enc.Len() != want {
 		t.Errorf("encoded SecStats is %d bytes, want %d — field/codec mismatch?", enc.Len(), want)

@@ -156,11 +156,17 @@ const (
 	// without value verification — the failure integrity-enabled schemes
 	// must never produce (the no-security baseline always does).
 	VerdictSilentCorruption
+	// VerdictDetectedByReconstruction is a read rejected by k-of-n
+	// secret-share reconstruction — the ssm scheme's only verification
+	// mechanism, where tamper surfaces as inconsistent shares (also
+	// counted in TamperDetected).
+	VerdictDetectedByReconstruction
 	numVerdicts
 )
 
 var verdictNames = [numVerdicts]string{
 	"detected-by-mac", "detected-by-bmt", "accepted-by-value-cache", "silent-corruption",
+	"detected-by-reconstruction",
 }
 
 // String returns the verdict's report name.
@@ -248,6 +254,15 @@ type SecStats struct {
 	// TaintedReads counts completed reads of data-tainted sectors —
 	// the denominator for false-accept rates.
 	TaintedReads uint64
+	// DerivedVersions counts counter acquisitions served by on-chip
+	// pattern-derived version numbers (the mgx scheme; no DRAM fetch).
+	DerivedVersions uint64
+	// DerivedFallbacks counts mgx counter acquisitions that fell back
+	// to the stored split-counter path (irregular sectors).
+	DerivedFallbacks uint64
+	// SharesReconstructed counts reads served by k-of-n secret-share
+	// reconstruction (the ssm scheme's read path).
+	SharesReconstructed uint64
 	// Verdicts classifies read outcomes under active attack; all zero
 	// in benign runs.
 	Verdicts VerdictCounts
@@ -267,6 +282,9 @@ func (s *SecStats) Add(o *SecStats) {
 	s.ReplayDetected += o.ReplayDetected
 	s.TamperInjected += o.TamperInjected
 	s.TaintedReads += o.TaintedReads
+	s.DerivedVersions += o.DerivedVersions
+	s.DerivedFallbacks += o.DerivedFallbacks
+	s.SharesReconstructed += o.SharesReconstructed
 	s.Verdicts.Add(&o.Verdicts)
 }
 

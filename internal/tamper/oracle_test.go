@@ -8,6 +8,7 @@ import (
 	"math"
 	"testing"
 
+	"github.com/plutus-gpu/plutus/internal/checkpoint"
 	"github.com/plutus-gpu/plutus/internal/dram"
 	"github.com/plutus-gpu/plutus/internal/geom"
 	"github.com/plutus-gpu/plutus/internal/gpusim"
@@ -52,8 +53,25 @@ func newOracleRig(t *testing.T, scheme string) *oracleRig {
 	r := &oracleRig{eng: &sim.Engine{}, st: &stats.Stats{}}
 	ch := dram.MustNew(dram.DefaultConfig(), r.eng, &r.st.Traffic)
 	r.sec = secmem.MustNew(cfg, r.eng, ch, r.st)
+	if cfg.MGX {
+		// The oracle's stand-in for the workload's stream declaration:
+		// the lower half of the working set ([0, 0x1000), sectors
+		// 0..127) is one regular stream, the upper half is off-stream —
+		// so both the derived path and the stored-counter fallback are
+		// exercised by every oracle run.
+		r.sec.StreamHint = func(local geom.Addr) (uint64, bool) {
+			if local < oracleStreamSplit {
+				return uint64(local) / geom.BlockSize, true
+			}
+			return 0, false
+		}
+	}
 	return r
 }
+
+// oracleStreamSplit divides the mgx rig's working set into the declared
+// stream below and irregular space above.
+const oracleStreamSplit = 0x1000
 
 func (r *oracleRig) write(a geom.Addr, data []byte) {
 	r.sec.Writeback(a, data, nil)
@@ -88,6 +106,16 @@ func oracleSector(r *prng, pool []uint32) []byte {
 // are checked against the shadow model as they happen.
 func runOracle(t *testing.T, rig *oracleRig, seed uint64, ops []gpusim.TamperOp) [32]byte {
 	t.Helper()
+	return runOraclePaused(t, rig, seed, ops, 0, nil)
+}
+
+// runOraclePaused is runOracle with an optional mid-run pause: at
+// workload op pauseAt the hook receives the current rig and returns the
+// rig the run continues on (the checkpoint/resume tests snapshot the
+// first and restore into a fresh one).
+func runOraclePaused(t *testing.T, rig *oracleRig, seed uint64, ops []gpusim.TamperOp,
+	pauseAt uint64, pause func(*oracleRig) *oracleRig) [32]byte {
+	t.Helper()
 	r := &prng{state: seed*0x9e3779b97f4a7c15 + 1}
 	pool := make([]uint32, 64)
 	for i := range pool {
@@ -99,6 +127,10 @@ func runOracle(t *testing.T, rig *oracleRig, seed uint64, ops []gpusim.TamperOp)
 	cycle := uint64(0)
 
 	step := func(f func()) {
+		if pause != nil && cycle == pauseAt {
+			rig = pause(rig)
+			pause = nil
+		}
 		for next < len(ops) && ops[next].Cycle <= cycle {
 			op := ops[next]
 			// parts=1 interleaving: global and partition-local addresses
@@ -153,12 +185,18 @@ func runOracle(t *testing.T, rig *oracleRig, seed uint64, ops []gpusim.TamperOp)
 	return sum
 }
 
-// allKindsPlan attacks the working set with every attack class,
-// mid-workload, four targets each.
-func allKindsPlan(t *testing.T, seed uint64) []gpusim.TamperOp {
+// allKindsPlan attacks the working set with every attack class the
+// scheme has a DRAM target for, mid-workload, four targets each. Kinds
+// keep their registry-ordered cycles and the data kinds precede the
+// metadata kinds, so the data-attack ops expand byte-identically across
+// all schemes (the seeded stream's prefix is shared).
+func allKindsPlan(t *testing.T, seed uint64, cfg secmem.Config) []gpusim.TamperOp {
 	t.Helper()
 	text := fmt.Sprintf("seed %d\n", seed)
 	for i, k := range Kinds() {
+		if !k.AppliesTo(cfg) {
+			continue
+		}
 		text += fmt.Sprintf("at cycle=%d attack=%s range=0x0:0x2000 count=4\n", 300+20*i, k)
 	}
 	return mustExpand(t, text)
@@ -201,24 +239,20 @@ func TestOracleCleanAgreement(t *testing.T) {
 }
 
 // TestOracleNoSilentCorruption is the headline security assertion: under
-// every attack class at once, across three seeds, no integrity-enabled
-// scheme ever returns tampered data as verified (SilentCorruption stays
-// zero), while the no-security baseline returns nothing but.
+// every applicable attack class at once, across three seeds, no
+// integrity-enabled scheme ever returns tampered data as verified
+// (SilentCorruption stays zero), while the no-security baseline returns
+// nothing but. Plans are capability-filtered per scheme, so every
+// scheduled op must land — no silent engine-level no-ops.
 func TestOracleNoSilentCorruption(t *testing.T) {
 	for _, seed := range []uint64{1, 2, 3} {
-		ops := allKindsPlan(t, seed)
 		for _, name := range secmem.Names() {
 			rig := newOracleRig(t, name)
+			ops := allKindsPlan(t, seed, rig.sec.Config())
 			runOracle(t, rig, seed, ops)
 			sec := &rig.st.Sec
 			if got, want := sec.TamperInjected, uint64(len(ops)); got != want {
-				// NoSecurity engines ignore metadata attacks (there is
-				// no metadata); data mutations must still all land.
-				if name != "nosec" {
-					t.Errorf("seed %d %s: injected %d of %d ops", seed, name, got, want)
-				} else if got == 0 {
-					t.Errorf("seed %d nosec: no ops landed", seed)
-				}
+				t.Errorf("seed %d %s: injected %d of %d ops", seed, name, got, want)
 			}
 			if sec.TaintedReads == 0 {
 				t.Errorf("seed %d %s: no tainted reads — the oracle is vacuous", seed, name)
@@ -247,7 +281,7 @@ func TestOracleNoSilentCorruption(t *testing.T) {
 // only asserted where the design guarantees it.
 func TestOracleDetectionMatrix(t *testing.T) {
 	type expect struct {
-		mac, bmt bool // require ≥1 DetectedByMAC / DetectedByBMT
+		mac, bmt, recon bool // require ≥1 of the matching verdict kind
 	}
 	matrix := map[string]map[Kind]expect{
 		"pssm": {
@@ -268,9 +302,34 @@ func TestOracleDetectionMatrix(t *testing.T) {
 			CtrRollback: {bmt: true},
 			BMTCorrupt:  {},
 		},
+		// mgx has no value cache, so every data attack resolves at the
+		// MAC. ctr-rollback/bmt-corrupt over the full range carry no
+		// guarantee here: targets landing in the derived half never
+		// refetch counters (see TestOracleMGXFallback for the
+		// irregular-half guarantee).
+		"mgx": {
+			BitFlip:     {mac: true},
+			WordFlip:    {mac: true},
+			SectorFlip:  {mac: true},
+			Splice:      {mac: true},
+			MACCorrupt:  {mac: true},
+			CtrRollback: {},
+			BMTCorrupt:  {},
+		},
+		// ssm's only verify layer is share reconstruction; the metadata
+		// kinds don't apply (no MACs, counters or tree in DRAM).
+		"ssm": {
+			BitFlip:    {recon: true},
+			WordFlip:   {recon: true},
+			SectorFlip: {recon: true},
+			Splice:     {recon: true},
+		},
 	}
-	for _, name := range []string{"pssm", "plutus"} {
+	for _, name := range []string{"pssm", "plutus", "mgx", "ssm"} {
 		for _, k := range Kinds() {
+			if _, applicable := matrix[name][k]; !applicable {
+				continue
+			}
 			t.Run(name+"/"+k.String(), func(t *testing.T) {
 				ops := mustExpand(t, fmt.Sprintf(
 					"seed 5\nat cycle=300 attack=%s range=0x0:0x2000 count=4\n", k))
@@ -287,6 +346,9 @@ func TestOracleDetectionMatrix(t *testing.T) {
 				if want.bmt && sec.Verdicts.Count(stats.VerdictDetectedByBMT) == 0 {
 					t.Fatalf("attack not caught by tree (verdicts %v)", sec.Verdicts)
 				}
+				if want.recon && sec.Verdicts.Count(stats.VerdictDetectedByReconstruction) == 0 {
+					t.Fatalf("attack not caught by reconstruction (verdicts %v)", sec.Verdicts)
+				}
 				// Data attacks must always resolve to *some* verdict on
 				// an integrity scheme: detected or value-accepted.
 				switch k {
@@ -300,26 +362,163 @@ func TestOracleDetectionMatrix(t *testing.T) {
 	}
 }
 
+// TestOracleMGXFallback pins the mgx fallback path's freshness
+// guarantee: counter-rollback and tree-node attacks aimed entirely at
+// the irregular (stored-counter) half of the working set are caught by
+// the BMT, exactly as on the conventional schemes.
+func TestOracleMGXFallback(t *testing.T) {
+	for _, k := range []Kind{CtrRollback, BMTCorrupt} {
+		t.Run(k.String(), func(t *testing.T) {
+			ops := mustExpand(t, fmt.Sprintf(
+				"seed 5\nat cycle=300 attack=%s range=0x1000:0x2000 count=4\n", k))
+			rig := newOracleRig(t, "mgx")
+			runOracle(t, rig, 5, ops)
+			sec := &rig.st.Sec
+			if got, want := sec.TamperInjected, uint64(len(ops)); got != want {
+				t.Fatalf("injected %d of %d ops", got, want)
+			}
+			if silent := sec.Verdicts.Count(stats.VerdictSilentCorruption); silent != 0 {
+				t.Fatalf("%d silent corruptions", silent)
+			}
+			if sec.Verdicts.Count(stats.VerdictDetectedByBMT) == 0 {
+				t.Fatalf("irregular-half %s not caught by the tree (verdicts %v)", k, sec.Verdicts)
+			}
+			if sec.DerivedVersions == 0 || sec.DerivedFallbacks == 0 {
+				t.Fatalf("oracle rig did not exercise both mgx paths: %+v", sec)
+			}
+		})
+	}
+}
+
+// TestOracleSnapshotResume proves checkpoint/resume byte-identity for
+// the frontier schemes under attack: a run paused mid-workload,
+// snapshotted, restored into a freshly built rig and continued produces
+// the same plaintext digest, security stats and traffic totals as the
+// uninterrupted run.
+func TestOracleSnapshotResume(t *testing.T) {
+	for _, name := range []string{"plutus", "mgx", "ssm"} {
+		t.Run(name, func(t *testing.T) {
+			base := newOracleRig(t, name)
+			ops := allKindsPlan(t, 3, base.sec.Config())
+			wantDigest := runOracle(t, base, 3, ops)
+
+			start := newOracleRig(t, name)
+			var final *oracleRig
+			gotDigest := runOraclePaused(t, start, 3, ops, 500, func(r *oracleRig) *oracleRig {
+				enc := checkpoint.NewEncoder()
+				if err := r.sec.Snapshot(enc); err != nil {
+					t.Fatalf("Snapshot: %v", err)
+				}
+				r.st.Snapshot(enc)
+				fresh := newOracleRig(t, name)
+				dec := checkpoint.NewDecoder(enc.Data())
+				if err := fresh.sec.Restore(dec); err != nil {
+					t.Fatalf("Restore: %v", err)
+				}
+				if err := fresh.st.Restore(dec); err != nil {
+					t.Fatalf("stats Restore: %v", err)
+				}
+				if err := dec.Finish(); err != nil {
+					t.Fatalf("Finish: %v", err)
+				}
+				final = fresh
+				return fresh
+			})
+			if final == nil {
+				t.Fatal("pause hook never ran")
+			}
+			if gotDigest != wantDigest {
+				t.Errorf("plaintext digest diverges across snapshot/resume")
+			}
+			if final.st.Sec != base.st.Sec {
+				t.Errorf("security stats diverge across snapshot/resume:\n%+v\n%+v",
+					final.st.Sec, base.st.Sec)
+			}
+			if got, want := final.st.Traffic.Total(), base.st.Traffic.Total(); got != want {
+				t.Errorf("traffic totals diverge across snapshot/resume: %d vs %d", got, want)
+			}
+		})
+	}
+}
+
+// TestOracleSeededMutation is the oracle's own mutation check, run by CI
+// as a seeded fault-injection gate: flipping a single stored share (any
+// region, base or check) and skewing a single derived version must each
+// be caught — an implementation where some share doesn't participate in
+// the consistency check, or where version derivation can silently
+// desynchronize, fails here.
+func TestOracleSeededMutation(t *testing.T) {
+	data := make([]byte, geom.SectorSize)
+	for i := range data {
+		data[i] = byte(0xa0 + i)
+	}
+	t.Run("ssm-share-flip", func(t *testing.T) {
+		for region := 0; region < 3; region++ {
+			rig := newOracleRig(t, "ssm")
+			const addr = geom.Addr(0x40)
+			rig.write(addr, data)
+			if !rig.sec.CorruptShare(addr, region) {
+				t.Fatalf("region %d: CorruptShare refused", region)
+			}
+			res := rig.read(addr)
+			if res.OK {
+				t.Errorf("region %d: corrupted share read verified OK", region)
+			}
+			if rig.st.Sec.Verdicts.Count(stats.VerdictDetectedByReconstruction) == 0 {
+				t.Errorf("region %d: no reconstruction verdict (verdicts %v)",
+					region, rig.st.Sec.Verdicts)
+			}
+			if silent := rig.st.Sec.Verdicts.Count(stats.VerdictSilentCorruption); silent != 0 {
+				t.Errorf("region %d: %d silent corruptions", region, silent)
+			}
+		}
+	})
+	t.Run("mgx-version-skew", func(t *testing.T) {
+		rig := newOracleRig(t, "mgx")
+		const derived = geom.Addr(0x100)    // inside the declared stream
+		const irregular = geom.Addr(0x1800) // outside it
+		rig.write(derived, data)
+		rig.write(irregular, data)
+		if rig.sec.SkewDerivedVersion(irregular) {
+			t.Error("SkewDerivedVersion skewed a stored-counter sector")
+		}
+		if !rig.sec.SkewDerivedVersion(derived) {
+			t.Fatal("SkewDerivedVersion refused a derived sector")
+		}
+		res := rig.read(derived)
+		if res.OK {
+			t.Error("skewed-version read verified OK")
+		}
+		if rig.st.Sec.Verdicts.Count(stats.VerdictDetectedByMAC) == 0 {
+			t.Errorf("version skew not caught by MAC (verdicts %v)", rig.st.Sec.Verdicts)
+		}
+		if silent := rig.st.Sec.Verdicts.Count(stats.VerdictSilentCorruption); silent != 0 {
+			t.Errorf("%d silent corruptions", silent)
+		}
+	})
+}
+
 // TestOracleReplayDeterminism: the same scheme, seed and plan replays to
 // byte-identical traffic, verdicts and taint counters.
 func TestOracleReplayDeterminism(t *testing.T) {
-	run := func() ([32]byte, stats.SecStats, uint64) {
-		ops := allKindsPlan(t, 2)
-		rig := newOracleRig(t, "plutus")
+	run := func(name string) ([32]byte, stats.SecStats, uint64) {
+		rig := newOracleRig(t, name)
+		ops := allKindsPlan(t, 2, rig.sec.Config())
 		d := runOracle(t, rig, 2, ops)
 		return d, rig.st.Sec, rig.st.Traffic.Total()
 	}
-	d1, s1, t1 := run()
-	d2, s2, t2 := run()
-	if d1 != d2 {
-		t.Errorf("plaintext digests differ across replays")
-	}
-	if s1.Verdicts != s2.Verdicts || s1.TamperInjected != s2.TamperInjected ||
-		s1.TaintedReads != s2.TaintedReads {
-		t.Errorf("security stats differ across replays:\n%+v\n%+v", s1, s2)
-	}
-	if t1 != t2 {
-		t.Errorf("traffic totals differ across replays: %d vs %d", t1, t2)
+	for _, name := range []string{"plutus", "mgx", "ssm"} {
+		d1, s1, t1 := run(name)
+		d2, s2, t2 := run(name)
+		if d1 != d2 {
+			t.Errorf("%s: plaintext digests differ across replays", name)
+		}
+		if s1 != s2 {
+			t.Errorf("%s: security stats differ across replays:\n%+v\n%+v", name, s1, s2)
+		}
+		if t1 != t2 {
+			t.Errorf("%s: traffic totals differ across replays: %d vs %d", name, t1, t2)
+		}
 	}
 }
 

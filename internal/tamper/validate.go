@@ -1,0 +1,61 @@
+package tamper
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/plutus-gpu/plutus/internal/secmem"
+)
+
+// AppliesTo reports whether the attack kind has a target under the
+// given scheme. Data-ciphertext attacks (bitflip, wordflip, sectorflip,
+// splice) apply everywhere — every scheme stores data in DRAM — while
+// the metadata attacks exist only where the scheme actually keeps that
+// metadata in memory: no MACs/counters/tree means nothing to corrupt.
+func (k Kind) AppliesTo(cfg secmem.Config) bool {
+	switch k {
+	case MACCorrupt:
+		return cfg.HasDRAMMAC()
+	case CtrRollback:
+		return cfg.HasDRAMCounters()
+	case BMTCorrupt:
+		return cfg.HasDRAMTree()
+	default:
+		return true
+	}
+}
+
+// ValidateFor rejects a plan containing attack kinds that target
+// metadata the scheme does not store in DRAM. Such directives used to
+// expand into silent engine-level no-ops, which made "the attack was
+// survived" indistinguishable from "the attack never happened" — the
+// gap ROADMAP item 4 flagged. The error names every offending kind so a
+// plan author can see the whole mismatch at once.
+func (p *Plan) ValidateFor(cfg secmem.Config) error {
+	var bad []string
+	seen := [numKinds]bool{}
+	for _, d := range p.Directives {
+		if !seen[d.Kind] && !d.Kind.AppliesTo(cfg) {
+			seen[d.Kind] = true
+			bad = append(bad, d.Kind.String())
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	return fmt.Errorf("tamper: scheme %q stores no DRAM metadata for attack kind(s) %s",
+		cfg.Scheme, strings.Join(bad, ", "))
+}
+
+// FilterFor returns a copy of the plan with every directive whose kind
+// does not apply to the scheme removed (the oracle's per-scheme plan
+// builder: attack everything attackable, skip what does not exist).
+func (p *Plan) FilterFor(cfg secmem.Config) *Plan {
+	out := &Plan{Seed: p.Seed}
+	for _, d := range p.Directives {
+		if d.Kind.AppliesTo(cfg) {
+			out.Directives = append(out.Directives, d)
+		}
+	}
+	return out
+}

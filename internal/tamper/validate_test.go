@@ -1,0 +1,119 @@
+package tamper
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/plutus-gpu/plutus/internal/secmem"
+)
+
+func planOfKinds(t *testing.T, kinds ...Kind) *Plan {
+	t.Helper()
+	p := &Plan{Seed: 1}
+	for i, k := range kinds {
+		p.Directives = append(p.Directives, Directive{Cycle: uint64(10 + i), Kind: k, Addr: 0x40})
+	}
+	return p
+}
+
+func schemeCfg(t *testing.T, name string) secmem.Config {
+	t.Helper()
+	cfg, err := secmem.ByName(name, 1<<20)
+	if err != nil {
+		t.Fatalf("ByName(%s): %v", name, err)
+	}
+	return cfg
+}
+
+// TestValidateFor pins plan-vs-scheme capability validation: attack
+// kinds that target metadata a scheme does not store in DRAM are a
+// loud plan error naming every offending kind, never a silent no-op.
+func TestValidateFor(t *testing.T) {
+	cases := []struct {
+		name    string
+		scheme  string
+		kinds   []Kind
+		wantErr string // "" means the plan must validate
+	}{
+		{"all-kinds-on-plutus", "plutus", Kinds(), ""},
+		{"all-kinds-on-pssm", "pssm", Kinds(), ""},
+		{"all-kinds-on-mgx", "mgx", Kinds(), ""},
+		{"notree-keeps-its-tree", "plutus-notree", []Kind{BMTCorrupt}, ""},
+		{"data-kinds-on-nosec", "nosec", []Kind{BitFlip, WordFlip, SectorFlip, Splice}, ""},
+		{"data-kinds-on-ssm", "ssm", []Kind{BitFlip, WordFlip, SectorFlip, Splice}, ""},
+		{"mac-on-nosec", "nosec", []Kind{MACCorrupt},
+			`tamper: scheme "nosec" stores no DRAM metadata for attack kind(s) mac-corrupt`},
+		{"bmt-on-nosec", "nosec", []Kind{BitFlip, BMTCorrupt},
+			`tamper: scheme "nosec" stores no DRAM metadata for attack kind(s) bmt-corrupt`},
+		{"mac-on-ssm", "ssm", []Kind{MACCorrupt},
+			`tamper: scheme "ssm" stores no DRAM metadata for attack kind(s) mac-corrupt`},
+		{"ctr-on-ssm", "ssm", []Kind{SectorFlip, CtrRollback},
+			`tamper: scheme "ssm" stores no DRAM metadata for attack kind(s) ctr-rollback`},
+		{"every-metadata-kind-on-ssm-listed-once", "ssm",
+			[]Kind{MACCorrupt, CtrRollback, BMTCorrupt, MACCorrupt},
+			`tamper: scheme "ssm" stores no DRAM metadata for attack kind(s) mac-corrupt, ctr-rollback, bmt-corrupt`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := planOfKinds(t, tc.kinds...).ValidateFor(schemeCfg(t, tc.scheme))
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("ValidateFor: unexpected error %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("ValidateFor accepted an inapplicable plan")
+			}
+			if err.Error() != tc.wantErr {
+				t.Fatalf("error drifted:\n got  %q\n want %q", err.Error(), tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestAppliesToMatrix freezes the capability matrix across the whole
+// registry: data attacks apply everywhere, metadata attacks everywhere
+// except the schemes that keep no such metadata in DRAM.
+func TestAppliesToMatrix(t *testing.T) {
+	for _, name := range secmem.Names() {
+		cfg := schemeCfg(t, name)
+		noMeta := name == "nosec" || name == "ssm"
+		for _, k := range Kinds() {
+			want := true
+			switch k {
+			case MACCorrupt, CtrRollback, BMTCorrupt:
+				want = !noMeta
+			}
+			if got := k.AppliesTo(cfg); got != want {
+				t.Errorf("%s.AppliesTo(%s) = %v, want %v", k, name, got, want)
+			}
+		}
+	}
+}
+
+// TestFilterFor checks the oracle's plan builder helper: filtering
+// keeps exactly the applicable directives, in order, and the result
+// always validates.
+func TestFilterFor(t *testing.T) {
+	p := planOfKinds(t, Kinds()...)
+	for _, name := range secmem.Names() {
+		cfg := schemeCfg(t, name)
+		f := p.FilterFor(cfg)
+		if err := f.ValidateFor(cfg); err != nil {
+			t.Errorf("%s: filtered plan fails validation: %v", name, err)
+		}
+		var kept []string
+		for _, d := range f.Directives {
+			kept = append(kept, d.Kind.String())
+		}
+		want := 7
+		if name == "nosec" || name == "ssm" {
+			want = 4
+		}
+		if len(f.Directives) != want {
+			t.Errorf("%s: kept %d directives (%s), want %d",
+				name, len(f.Directives), strings.Join(kept, ","), want)
+		}
+	}
+}

@@ -284,6 +284,23 @@ func (b *Bench) StoreValue(w int, addr geom.Addr) uint32 {
 	return b.model.StoreValue(w, addr)
 }
 
+// StreamCursor implements secmem.StreamCursorSource (structurally — the
+// mgx scheme's application-knowledge contract): regular-pattern
+// benchmarks declare their in-footprint accesses as one block-granular
+// write stream, so the controller can derive those sectors' version
+// numbers on-chip. Irregular patterns and out-of-footprint addresses
+// report no stream, forcing the stored-counter fallback.
+func (b *Bench) StreamCursor(addr geom.Addr) (uint64, bool) {
+	switch b.spec.Pattern {
+	case Streaming, Strided, Stencil:
+		fp := b.spec.Footprint &^ (geom.BlockSize - 1)
+		if uint64(addr) < fp {
+			return uint64(addr) / geom.BlockSize, true
+		}
+	}
+	return 0, false
+}
+
 // --- registry ---
 
 var registry = map[string]Spec{}
